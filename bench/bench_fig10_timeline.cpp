@@ -1,0 +1,47 @@
+// Figure 10 reproduction: the "DOMINO under the microscope" timeline on the
+// Figure 7 network with all uplink and downlink flows saturated. Prints the
+// per-slot transmission schedule (real links, fake packets, ROP polls) and
+// the misalignment so the domino chains, fake-link filling and polling
+// cadence are visible exactly like the paper's trace.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace dmn;
+
+int main() {
+  const auto topo = bench::fig7_topology();
+
+  api::ExperimentConfig cfg;
+  cfg.scheme = api::Scheme::kDomino;
+  cfg.duration = msec(100);
+  cfg.seed = 3;
+  cfg.traffic.saturate_downlink = true;
+  cfg.traffic.saturate_uplink = true;
+  cfg.record_timeline = true;
+
+  const auto r = api::run_experiment(topo, cfg);
+
+  bench::print_header("Figure 10: DOMINO under the microscope (Figure 7 net)");
+  std::printf("aggregate: %.2f Mbps | fairness %.3f | polls %zu | "
+              "self-starts %llu\n",
+              r.throughput_mbps(), r.jain_fairness,
+              r.timeline->polls().size(),
+              static_cast<unsigned long long>(r.domino_self_starts));
+
+  // The paper shows slots ~90-94 (batches 10-11); print a steady-state
+  // window of similar depth.
+  const std::uint64_t from = 90;
+  const std::uint64_t to = 101;
+  std::printf("\nslots %llu..%llu:\n", static_cast<unsigned long long>(from),
+              static_cast<unsigned long long>(to));
+  r.timeline->print(std::cout, from, to);
+
+  std::printf(
+      "\npaper's observations to look for: (1) receivers triggering hidden "
+      "next transmitters,\n(2) limited impact of a missed transmission, "
+      "(3) fake packets keeping chains triggered.\n");
+  return 0;
+}

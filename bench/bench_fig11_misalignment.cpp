@@ -1,0 +1,50 @@
+// Figure 11 reproduction: maximum transmission misalignment at the start of
+// the contention-free period vs slot index, for wired latency jitter
+// sigma = 20/40/60/80 us on T(10,2).
+//
+// Paper's shape: initial misalignment 10-20 us, converging to 1-2 us within
+// ~4 slots.
+
+#include <cstdio>
+
+#include "bench_util.h"
+
+using namespace dmn;
+
+int main() {
+  bench::print_header(
+      "Figure 11: max TX misalignment (us, within a collision domain) vs "
+      "slot index, T(10,2)");
+  std::printf("%8s", "slot");
+  for (int sigma : {20, 40, 60, 80}) std::printf("  sigma=%2dus", sigma);
+  std::printf("\n");
+
+  const auto topo = bench::trace_tmn(10, 2, 42);
+  std::vector<std::vector<double>> series;
+  for (int sigma : {20, 40, 60, 80}) {
+    api::ExperimentConfig cfg;
+    cfg.scheme = api::Scheme::kDomino;
+    cfg.duration = msec(60);
+    cfg.seed = 5;
+    cfg.traffic.saturate_downlink = true;
+    cfg.traffic.saturate_uplink = true;
+    cfg.record_timeline = true;
+    cfg.backbone.sigma_latency = usec(sigma);
+    const auto r = api::run_experiment(topo, cfg);
+    const auto first = r.timeline->first_slot();
+    std::vector<double> coupled;
+    for (std::uint64_t s2 = first; s2 < first + 6; ++s2) {
+      coupled.push_back(api::coupled_misalignment_us(*r.timeline, topo, s2));
+    }
+    series.push_back(std::move(coupled));
+  }
+  for (std::size_t slot = 0; slot < 6; ++slot) {
+    std::printf("%8zu", slot);
+    for (const auto& s : series) std::printf("  %9.1f", s[slot]);
+    std::printf("\n");
+  }
+  std::printf(
+      "\npaper: 10-20 us initial misalignment, reduced to 1-2 us within 4 "
+      "slots\n");
+  return 0;
+}

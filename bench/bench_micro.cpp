@@ -1,0 +1,119 @@
+// Classic google-benchmark timings of the hot primitives: FFT, Gold
+// correlation, conflict-graph construction, RAND scheduling and the
+// event-driven medium.
+
+#include <benchmark/benchmark.h>
+
+#include "domino/rand_scheduler.h"
+#include "dsp/fft.h"
+#include "gold/correlator.h"
+#include "gold/gold_code.h"
+#include "mac/dcf.h"
+#include "phy/medium.h"
+#include "sim/simulator.h"
+#include "topo/conflict_graph.h"
+#include "topo/topology.h"
+#include "topo/trace_synth.h"
+
+using namespace dmn;
+
+static void BM_Fft256(benchmark::State& state) {
+  Rng rng(1);
+  std::vector<dsp::Cplx> x(256);
+  for (auto& c : x) c = dsp::Cplx(rng.uniform(-1, 1), rng.uniform(-1, 1));
+  for (auto _ : state) {
+    auto y = x;
+    dsp::fft(y);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_Fft256);
+
+static void BM_GoldSetConstruction(benchmark::State& state) {
+  for (auto _ : state) {
+    gold::GoldCodeSet set(7);
+    benchmark::DoNotOptimize(set);
+  }
+}
+BENCHMARK(BM_GoldSetConstruction);
+
+static void BM_SignatureDetect(benchmark::State& state) {
+  gold::GoldCodeSet set(7);
+  gold::Correlator corr(set);
+  Rng rng(2);
+  std::vector<gold::BurstSender> senders = {
+      gold::BurstSender{{1, 2, 3, 4}, 1.0, 2, 0.7}};
+  const auto rx = gold::synthesize_burst(set, senders, 0.05, 16, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(corr.detect(rx, 3));
+  }
+}
+BENCHMARK(BM_SignatureDetect);
+
+static void BM_TraceSynthesis(benchmark::State& state) {
+  for (auto _ : state) {
+    Rng rng(3);
+    benchmark::DoNotOptimize(topo::synthesize_trace({}, rng));
+  }
+}
+BENCHMARK(BM_TraceSynthesis);
+
+static void BM_ConflictGraphT102(benchmark::State& state) {
+  Rng rng(4);
+  const auto trace = topo::synthesize_trace({}, rng);
+  const auto t = topo::Topology::build_tmn(trace.rss, 10, 2, {}, rng);
+  const auto links = t.make_links(true, true);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(topo::ConflictGraph::build(t, links));
+  }
+}
+BENCHMARK(BM_ConflictGraphT102);
+
+static void BM_RandBatch(benchmark::State& state) {
+  Rng rng(5);
+  const auto trace = topo::synthesize_trace({}, rng);
+  const auto t = topo::Topology::build_tmn(trace.rss, 10, 2, {}, rng);
+  const auto links = t.make_links(true, true);
+  const auto g = topo::ConflictGraph::build(t, links);
+  domino::RandScheduler rand(g);
+  std::vector<std::size_t> demand(g.num_links(), 10);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rand.schedule_batch(demand, 10));
+  }
+}
+BENCHMARK(BM_RandBatch);
+
+static void BM_DcfSaturatedSecond(benchmark::State& state) {
+  for (auto _ : state) {
+    topo::ManualTopologyBuilder b;
+    const auto ap = b.add_ap();
+    b.add_client(ap);
+    auto t = b.build();
+    sim::Simulator sim;
+    phy::Medium medium(sim, t);
+    mac::WifiParams params;
+    params.queue_capacity = 3000;
+    int delivered = 0;
+    mac::DcfNode apn(sim, medium, ap, params, Rng(1),
+                     [&](const traffic::Packet&, topo::NodeId, TimeNs) {
+                       ++delivered;
+                     });
+    mac::DcfNode cn(sim, medium, 1, params, Rng(2),
+                    [&](const traffic::Packet&, topo::NodeId, TimeNs) {
+                      ++delivered;
+                    });
+    for (int i = 0; i < 2000; ++i) {
+      traffic::Packet p;
+      p.id = static_cast<traffic::PacketId>(i + 1);
+      p.flow = 0;
+      p.src = ap;
+      p.dst = 1;
+      apn.enqueue(p);
+    }
+    sim.run_until(sec(1));
+    benchmark::DoNotOptimize(delivered);
+  }
+}
+BENCHMARK(BM_DcfSaturatedSecond)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

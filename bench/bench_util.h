@@ -1,0 +1,98 @@
+#pragma once
+// Shared helpers for the reproduction benches: the paper's figure
+// topologies, run-length control, and table printing.
+//
+// Simulated duration per data point defaults to a laptop-friendly value and
+// can be raised toward the paper's 50 s with DMN_BENCH_SECONDS.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "api/experiment.h"
+#include "topo/topology.h"
+#include "topo/trace_synth.h"
+
+namespace dmn::bench {
+
+inline double bench_seconds(double fallback) {
+  const char* v = std::getenv("DMN_BENCH_SECONDS");
+  if (v == nullptr) return fallback;
+  const double s = std::atof(v);
+  return s > 0 ? s : fallback;
+}
+
+/// Figure 1: three AP-client pairs; AP1 hidden to AP3, AP1/C2 exposed.
+/// Nodes: AP1=0, AP2=1, AP3=2, C1=3, C2=4, C3=5.
+inline topo::Topology fig1_topology() {
+  topo::ManualTopologyBuilder b;
+  const auto ap1 = b.add_ap();
+  const auto ap2 = b.add_ap();
+  const auto ap3 = b.add_ap();
+  b.add_client(ap1);
+  b.add_client(ap2);
+  b.add_client(ap3);
+  b.sense(ap1, 4);       // exposed pair AP1 / C2
+  b.interfere(ap1, 5);   // hidden: AP1 corrupts C3
+  b.sense(ap2, 3);
+  (void)ap2;
+  (void)ap3;
+  return b.build();
+}
+
+/// Figure 7: four AP-client pairs in two conflicting halves.
+/// Nodes: AP1..AP4 = 0..3, C1..C4 = 4..7.
+inline topo::Topology fig7_topology() {
+  topo::ManualTopologyBuilder b;
+  const auto ap1 = b.add_ap();
+  const auto ap2 = b.add_ap();
+  const auto ap3 = b.add_ap();
+  const auto ap4 = b.add_ap();
+  b.add_client(ap1);  // 4
+  b.add_client(ap2);  // 5
+  b.add_client(ap3);  // 6
+  b.add_client(ap4);  // 7
+  b.interfere(ap1, 5).interfere(ap2, 4);
+  b.interfere(ap3, 7).interfere(ap4, 6);
+  b.sense(ap1, ap2).sense(ap3, ap4).sense(4, 5).sense(6, 7);
+  return b.build();
+}
+
+/// Figure 13(a): four downlinks all mutually exposed (every AP hears every
+/// other AP; receivers clean).
+inline topo::Topology fig13a_topology() {
+  topo::ManualTopologyBuilder b;
+  topo::NodeId aps[4];
+  for (auto& ap : aps) ap = b.add_ap();
+  for (const auto ap : aps) b.add_client(ap);
+  for (int i = 0; i < 4; ++i) {
+    for (int j = i + 1; j < 4; ++j) b.sense(aps[i], aps[j]);
+  }
+  return b.build();
+}
+
+/// Figure 13(b): AP1..AP3 out of range of each other; all three share an
+/// exposed relationship with AP4 only.
+inline topo::Topology fig13b_topology() {
+  topo::ManualTopologyBuilder b;
+  topo::NodeId aps[4];
+  for (auto& ap : aps) ap = b.add_ap();
+  for (const auto ap : aps) b.add_client(ap);
+  for (int i = 0; i < 3; ++i) b.sense(aps[i], aps[3]);
+  return b.build();
+}
+
+/// The paper's default large-scale setting: T(m,n) drawn from the synthetic
+/// 40-node two-building trace.
+inline topo::Topology trace_tmn(std::size_t m, std::size_t n,
+                                std::uint64_t seed) {
+  Rng rng(seed);
+  const auto trace = topo::synthesize_trace({}, rng);
+  return topo::Topology::build_tmn(trace.rss, m, n, {}, rng);
+}
+
+inline void print_header(const std::string& title) {
+  std::printf("\n==== %s ====\n", title.c_str());
+}
+
+}  // namespace dmn::bench

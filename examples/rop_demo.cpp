@@ -1,0 +1,80 @@
+// Rapid OFDM Polling walk-through: builds the Table-1 control symbol for a
+// full cell of clients, pushes it through the impaired channel (residual
+// CFO, timing skew within the CP, transmitter noise floor, receiver AWGN,
+// ADC clipping) and decodes the queue reports at the AP — then shows what
+// a 40 dB near/far mismatch does with and without the subchannel allocator.
+
+#include <cstdio>
+#include <vector>
+
+#include "rop/rop_phy.h"
+#include "rop/rop_protocol.h"
+
+using namespace dmn;
+
+int main() {
+  rop::RopParams params;  // Table 1
+  rop::RopPhy phy(params);
+  rop::RopImpairments imp;
+  Rng rng(11);
+
+  std::printf("ROP symbol: %zu subcarriers, %zu subchannels of %zu data + "
+              "%zu guard bins, CP %zu samples, symbol %.1f us\n\n",
+              params.fft_size, params.num_subchannels,
+              params.data_per_subchannel, params.guard_per_subchannel,
+              params.cp_samples, to_usec(params.symbol_duration()));
+
+  // A cell of 12 clients with assorted queue depths and impairments.
+  std::vector<rop::ClientSignal> clients;
+  for (std::size_t i = 0; i < 12; ++i) {
+    rop::ClientSignal cs;
+    cs.subchannel = i;
+    cs.queue_report = static_cast<unsigned>((5 + i * 11) % 64);
+    cs.rss_dbm = -52.0 - static_cast<double>(i);
+    cs.freq_offset_subcarriers = rng.normal(0.0, imp.cfo_sigma_subcarriers);
+    cs.timing_offset_samples = static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(params.cp_samples / 2)));
+    clients.push_back(cs);
+  }
+  const auto rx = phy.synthesize(clients, imp, rng);
+  const auto dec = phy.decode(rx, imp);
+
+  std::printf("one polling round, 12 clients:\n");
+  int ok = 0;
+  for (const auto& cs : clients) {
+    const auto got = dec.values[cs.subchannel];
+    const bool good = got.has_value() && *got == cs.queue_report;
+    ok += good;
+    std::printf("  subchannel %2zu: sent %2u -> %s\n", cs.subchannel,
+                cs.queue_report,
+                got.has_value()
+                    ? (good ? "decoded OK" : "decoded WRONG")
+                    : "silent");
+  }
+  std::printf("%d/12 reports decoded in ONE OFDM symbol (vs 12 polling "
+              "exchanges)\n\n", ok);
+
+  // Near/far: a 40 dB stronger neighbour on the adjacent subchannel.
+  std::printf("near/far mismatch (40 dB) on adjacent subchannels:\n");
+  std::vector<rop::ClientSignal> nf = {
+      {0, 63, -25.0, 0.01, 0}, {1, 21, -65.0, -0.01, 3}};
+  int bad = 0;
+  for (int t = 0; t < 50; ++t) {
+    if (!phy.round_trip_ok(nf, imp, rng)) ++bad;
+  }
+  std::printf("  adjacent subchannels: %d/50 rounds corrupted\n", bad);
+
+  // The allocator's answer: assign them non-adjacent subchannels.
+  rop::SubchannelAllocator alloc(params);
+  const auto assign = alloc.assign({100, 101}, {-25.0, -65.0});
+  nf[0].subchannel = assign[0].subchannel;
+  nf[1].subchannel = assign[1].subchannel;
+  bad = 0;
+  for (int t = 0; t < 50; ++t) {
+    if (!phy.round_trip_ok(nf, imp, rng)) ++bad;
+  }
+  std::printf("  allocator-separated (subchannels %zu and %zu): %d/50 "
+              "corrupted\n",
+              assign[0].subchannel, assign[1].subchannel, bad);
+  return 0;
+}

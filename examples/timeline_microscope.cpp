@@ -1,0 +1,66 @@
+// DOMINO under the microscope (the Figure 10 view): runs the Figure 7
+// four-cell network with saturated bidirectional traffic and prints the
+// slot-by-slot timeline — real transmissions, fake packets keeping chains
+// triggered, ROP polling slots, and per-slot misalignment.
+//
+// Usage: timeline_microscope [first_slot [last_slot]]
+
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+
+#include "api/experiment.h"
+#include "topo/topology.h"
+
+using namespace dmn;
+
+namespace {
+
+topo::Topology fig7_topology() {
+  topo::ManualTopologyBuilder b;
+  const auto ap1 = b.add_ap();
+  const auto ap2 = b.add_ap();
+  const auto ap3 = b.add_ap();
+  const auto ap4 = b.add_ap();
+  b.add_client(ap1);  // 4
+  b.add_client(ap2);  // 5
+  b.add_client(ap3);  // 6
+  b.add_client(ap4);  // 7
+  b.interfere(ap1, 5).interfere(ap2, 4);
+  b.interfere(ap3, 7).interfere(ap4, 6);
+  b.sense(ap1, ap2).sense(ap3, ap4).sense(4, 5).sense(6, 7);
+  return b.build();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::uint64_t from = argc > 1 ? std::strtoull(argv[1], nullptr, 10)
+                                      : 40;
+  const std::uint64_t to =
+      argc > 2 ? std::strtoull(argv[2], nullptr, 10) : from + 11;
+
+  api::ExperimentConfig cfg;
+  cfg.scheme = api::Scheme::kDomino;
+  cfg.duration = msec(120);
+  cfg.seed = 3;
+  cfg.traffic.saturate_downlink = true;
+  cfg.traffic.saturate_uplink = true;
+  cfg.record_timeline = true;
+
+  const auto topo = fig7_topology();
+  const auto r = api::run_experiment(topo, cfg);
+
+  std::printf("Figure-7 network, all flows saturated, DOMINO\n");
+  std::printf("aggregate %.2f Mbps | fairness %.3f | %zu polls | "
+              "%llu self-starts | %llu missed rows\n\n",
+              r.throughput_mbps(), r.jain_fairness,
+              r.timeline->polls().size(),
+              static_cast<unsigned long long>(r.domino_self_starts),
+              static_cast<unsigned long long>(r.domino_missed_rows));
+  std::printf("legend: [fake] = fake-link header keeping the chain "
+              "triggered;\n        ROP poll = AP polling client queues in "
+              "an inserted ROP slot\n\n");
+  r.timeline->print(std::cout, from, to);
+  return 0;
+}

@@ -1,0 +1,377 @@
+#include "api/experiment.h"
+
+#include <algorithm>
+#include <map>
+
+#include "domino/rand_scheduler.h"
+#include "mac/dcf.h"
+#include "omni/omniscient.h"
+#include "phy/medium.h"
+#include "sim/simulator.h"
+#include "topo/conflict_graph.h"
+#include "traffic/flow_stats.h"
+#include "traffic/udp_source.h"
+
+namespace dmn::api {
+
+const char* to_string(Scheme s) {
+  switch (s) {
+    case Scheme::kDcf: return "DCF";
+    case Scheme::kCentaur: return "CENTAUR";
+    case Scheme::kDomino: return "DOMINO";
+    case Scheme::kOmniscient: return "Omniscient";
+  }
+  return "?";
+}
+
+struct Experiment::Impl {
+  topo::Topology topo;
+  ExperimentConfig cfg;
+  Rng root;
+
+  sim::Simulator sim;
+  phy::Medium medium;
+
+  traffic::PacketIdGen ids;
+  traffic::FlowStats stats;
+
+  struct FlowCtx {
+    traffic::Flow flow;
+    bool uplink = false;
+    double rate_bps = 0.0;
+    bool saturate = false;
+  };
+  std::vector<FlowCtx> flows;
+
+  // One MAC entity per node (indexed by NodeId).
+  std::vector<mac::MacEntity*> macs;
+
+  // Concrete owners by scheme.
+  std::vector<std::unique_ptr<mac::DcfNode>> dcf_nodes;
+  std::vector<std::unique_ptr<omni::OmniNodeMac>> omni_nodes;
+  std::vector<std::unique_ptr<domino::DominoApMac>> domino_aps;
+  std::vector<std::unique_ptr<domino::DominoClientMac>> domino_clients;
+
+  std::unique_ptr<topo::ConflictGraph> graph;
+  std::unique_ptr<topo::ConflictGraph> downlink_graph;  // CENTAUR
+  std::unique_ptr<wired::Backbone> backbone;
+  std::unique_ptr<domino::SignaturePlan> signatures;
+  std::unique_ptr<domino::DominoController> controller;
+  std::unique_ptr<centaur::CentaurController> centaur_ctrl;
+  std::unique_ptr<omni::OmniscientScheduler> omni_sched;
+
+  std::vector<std::unique_ptr<traffic::UdpSource>> udp_sources;
+  std::map<traffic::FlowId, std::unique_ptr<traffic::TcpSender>> tcp_senders;
+  std::map<traffic::FlowId, std::unique_ptr<traffic::TcpReceiver>>
+      tcp_receivers;
+
+  std::shared_ptr<TimelineRecorder> timeline;
+  domino::DominoTrace trace;
+
+  Impl(const topo::Topology& t, ExperimentConfig c)
+      : topo(t), cfg(std::move(c)), root(cfg.seed), sim(), medium(sim, topo) {}
+
+  bool tcp() const { return cfg.traffic.kind == TrafficKind::kTcp; }
+  bool want_downlink() const {
+    if (!cfg.traffic.custom.empty()) {
+      for (const FlowSpec& f : cfg.traffic.custom) {
+        if (topo.node(f.src).is_ap) return true;
+      }
+      return false;
+    }
+    return cfg.traffic.saturate_downlink || cfg.traffic.downlink_bps > 0.0;
+  }
+  bool want_uplink() const {
+    if (!cfg.traffic.custom.empty()) {
+      for (const FlowSpec& f : cfg.traffic.custom) {
+        if (!topo.node(f.src).is_ap) return true;
+      }
+      return false;
+    }
+    return cfg.traffic.saturate_uplink || cfg.traffic.uplink_bps > 0.0;
+  }
+  /// Directions the scheduled schemes must cover. TCP needs both (ACKs
+  /// travel the reverse path as regular data packets).
+  bool graph_downlink() const { return want_downlink() || tcp(); }
+  bool graph_uplink() const { return want_uplink() || tcp(); }
+
+  void deliver(const traffic::Packet& p, topo::NodeId at, TimeNs now) {
+    if (at != p.dst) return;
+    if (tcp()) {
+      if (p.tcp_is_ack) {
+        const auto it = tcp_senders.find(p.flow);
+        if (it != tcp_senders.end()) it->second->on_ack(p);
+      } else {
+        const auto it = tcp_receivers.find(p.flow);
+        if (it != tcp_receivers.end()) it->second->on_data(p, now);
+      }
+    } else {
+      stats.record_delivery(p, now);
+    }
+  }
+
+  mac::DeliveryFn delivery_fn() {
+    return [this](const traffic::Packet& p, topo::NodeId at, TimeNs now) {
+      deliver(p, at, now);
+    };
+  }
+
+  void build_flows() {
+    int next_id = 0;
+    if (!cfg.traffic.custom.empty()) {
+      for (const FlowSpec& f : cfg.traffic.custom) {
+        const bool uplink = !topo.node(f.src).is_ap;
+        flows.push_back(FlowCtx{traffic::Flow{next_id++, f.src, f.dst},
+                                uplink, f.rate_bps, f.saturate});
+      }
+      return;
+    }
+    for (topo::NodeId c : topo.all_clients()) {
+      const topo::NodeId ap = topo.node(c).ap;
+      if (want_downlink()) {
+        flows.push_back(FlowCtx{traffic::Flow{next_id++, ap, c}, false,
+                                cfg.traffic.downlink_bps,
+                                cfg.traffic.saturate_downlink});
+      }
+      if (want_uplink()) {
+        flows.push_back(FlowCtx{traffic::Flow{next_id++, c, ap}, true,
+                                cfg.traffic.uplink_bps,
+                                cfg.traffic.saturate_uplink});
+      }
+    }
+  }
+
+  void build_traffic() {
+    for (const FlowCtx& fc : flows) {
+      mac::MacEntity* src_mac = macs[static_cast<std::size_t>(fc.flow.src)];
+      auto enqueue = [this, src_mac](traffic::Packet p) {
+        stats.record_offered(p.flow);
+        return src_mac->enqueue(std::move(p));
+      };
+      if (tcp()) {
+        traffic::TcpParams tp = cfg.tcp;
+        tp.mss_bytes = cfg.traffic.packet_bytes;
+        tp.app_rate_bps = fc.saturate ? 0.0 : fc.rate_bps;
+        auto sender = std::make_unique<traffic::TcpSender>(
+            sim, fc.flow, tp, ids, enqueue);
+        mac::MacEntity* dst_mac =
+            macs[static_cast<std::size_t>(fc.flow.dst)];
+        auto send_ack = [this, dst_mac](traffic::Packet p) {
+          return dst_mac->enqueue(std::move(p));
+        };
+        auto receiver = std::make_unique<traffic::TcpReceiver>(
+            fc.flow, tp, ids, send_ack,
+            [this](const traffic::Packet& p) {
+              stats.record_delivery(p, sim.now());
+            });
+        sender->start(usec(root.uniform(500, 1500)));
+        tcp_senders[fc.flow.id] = std::move(sender);
+        tcp_receivers[fc.flow.id] = std::move(receiver);
+      } else {
+        // Saturated sources offer ~3x the PHY rate so the queue never runs
+        // dry; the cap keeps event counts sane.
+        const double rate =
+            fc.saturate ? 3.0 * cfg.wifi.data_rate_bps : fc.rate_bps;
+        if (rate <= 0.0) continue;
+        auto src = std::make_unique<traffic::UdpSource>(
+            sim, fc.flow, rate, cfg.traffic.packet_bytes, ids, enqueue);
+        src->start(usec(root.uniform(0, 1000)));
+        udp_sources.push_back(std::move(src));
+      }
+    }
+  }
+
+  void build_dcf() {
+    macs.assign(topo.num_nodes(), nullptr);
+    for (const topo::Node& n : topo.nodes()) {
+      auto node = std::make_unique<mac::DcfNode>(
+          sim, medium, n.id, cfg.wifi, root.fork(), delivery_fn());
+      macs[static_cast<std::size_t>(n.id)] = node.get();
+      dcf_nodes.push_back(std::move(node));
+    }
+  }
+
+  void build_centaur() {
+    build_dcf();
+    const auto dl = topo.make_links(/*downlink=*/true, /*uplink=*/false);
+    downlink_graph = std::make_unique<topo::ConflictGraph>(
+        topo::ConflictGraph::build(topo, dl));
+    backbone = std::make_unique<wired::Backbone>(sim, cfg.backbone,
+                                                 root.fork());
+    std::map<topo::NodeId, mac::DcfNode*> ap_macs;
+    for (const auto& n : dcf_nodes) {
+      if (topo.node(n->node()).is_ap) ap_macs[n->node()] = n.get();
+    }
+    centaur_ctrl = std::make_unique<centaur::CentaurController>(
+        sim, *backbone, *downlink_graph, cfg.centaur, std::move(ap_macs));
+    centaur_ctrl->start(usec(100));
+  }
+
+  void build_omniscient() {
+    macs.assign(topo.num_nodes(), nullptr);
+    std::vector<omni::OmniNodeMac*> raw(topo.num_nodes(), nullptr);
+    for (const topo::Node& n : topo.nodes()) {
+      auto node = std::make_unique<omni::OmniNodeMac>(
+          sim, medium, n.id, cfg.wifi, delivery_fn());
+      macs[static_cast<std::size_t>(n.id)] = node.get();
+      raw[static_cast<std::size_t>(n.id)] = node.get();
+      omni_nodes.push_back(std::move(node));
+    }
+    omni_sched = std::make_unique<omni::OmniscientScheduler>(
+        sim, medium, *graph, cfg.wifi, std::move(raw));
+    omni_sched->start(usec(100));
+  }
+
+  void build_domino() {
+    macs.assign(topo.num_nodes(), nullptr);
+    signatures = std::make_unique<domino::SignaturePlan>(topo.num_nodes());
+    backbone = std::make_unique<wired::Backbone>(sim, cfg.backbone,
+                                                 root.fork());
+
+    domino::DominoTiming timing;
+    timing.wifi = cfg.wifi;
+    timing.payload_bytes = cfg.traffic.packet_bytes;
+
+    if (cfg.record_timeline) {
+      timeline = std::make_shared<TimelineRecorder>();
+      trace.on_data_tx = [this](std::uint64_t slot, topo::NodeId s,
+                                topo::NodeId r, TimeNs t, bool fake,
+                                bool uplink) {
+        timeline->record_tx(slot, s, r, t, fake, uplink);
+      };
+      trace.on_poll = [this](std::uint64_t slot, topo::NodeId ap, TimeNs t) {
+        timeline->record_poll(slot, ap, t);
+      };
+    }
+    domino::DominoTrace* trace_ptr = cfg.record_timeline ? &trace : nullptr;
+
+    cfg.domino.payload_bytes = cfg.traffic.packet_bytes;
+    controller = std::make_unique<domino::DominoController>(
+        sim, *backbone, topo, *graph, *signatures, cfg.domino, cfg.converter,
+        timing.slot_duration(), timing.rop_duration());
+
+    // APs with subchannel allocation for their clients.
+    rop::SubchannelAllocator alloc(cfg.rop);
+    std::map<topo::NodeId, domino::DominoApMac*> ap_map;
+    std::map<topo::NodeId, std::size_t> subchannel_of;
+    for (topo::NodeId ap : topo.aps()) {
+      const std::vector<topo::NodeId> clients = topo.clients_of(ap);
+      std::vector<double> rss;
+      rss.reserve(clients.size());
+      for (topo::NodeId c : clients) rss.push_back(topo.rss(ap, c));
+      const auto assigns = alloc.assign(clients, rss);
+
+      auto report_fn = [this](const domino::ApReport& rep) {
+        backbone->send([this, rep] { controller->on_ap_report(rep); });
+      };
+      auto node = std::make_unique<domino::DominoApMac>(
+          sim, medium, ap, timing, *signatures, cfg.sig_model, cfg.rop,
+          root.fork(), delivery_fn(), report_fn, trace_ptr);
+      std::vector<domino::DominoApMac::ClientInfo> infos;
+      for (const auto& a : assigns) {
+        infos.push_back(domino::DominoApMac::ClientInfo{
+            a.client, a.subchannel, topo.rss(ap, a.client)});
+        subchannel_of[a.client] = a.subchannel;
+      }
+      node->set_clients(std::move(infos));
+      macs[static_cast<std::size_t>(ap)] = node.get();
+      ap_map[ap] = node.get();
+      domino_aps.push_back(std::move(node));
+    }
+    for (topo::NodeId c : topo.all_clients()) {
+      auto node = std::make_unique<domino::DominoClientMac>(
+          sim, medium, c, topo.node(c).ap, subchannel_of[c], timing,
+          *signatures, cfg.sig_model, root.fork(), delivery_fn(), trace_ptr);
+      macs[static_cast<std::size_t>(c)] = node.get();
+      domino_clients.push_back(std::move(node));
+    }
+
+    controller->set_dispatch([ap_map](const domino::ApSchedule& plan) {
+      const auto it = ap_map.find(plan.ap);
+      if (it != ap_map.end()) it->second->receive_plan(plan);
+    });
+    controller->set_downlink_peek([ap_map](const topo::Link& l) {
+      const auto it = ap_map.find(l.sender);
+      return it == ap_map.end() ? std::size_t{0}
+                                : it->second->queued_for(l.receiver);
+    });
+    controller->start(usec(100));
+  }
+
+  ExperimentResult run() {
+    build_flows();
+    const auto links = topo.make_links(graph_downlink(), graph_uplink());
+    graph = std::make_unique<topo::ConflictGraph>(
+        topo::ConflictGraph::build(topo, links));
+
+    switch (cfg.scheme) {
+      case Scheme::kDcf:
+        build_dcf();
+        break;
+      case Scheme::kCentaur:
+        build_centaur();
+        break;
+      case Scheme::kOmniscient:
+        build_omniscient();
+        break;
+      case Scheme::kDomino:
+        build_domino();
+        break;
+    }
+    build_traffic();
+
+    sim.run_until(cfg.duration);
+
+    ExperimentResult result;
+    result.census = topo::classify_pairs(topo, links);
+    std::vector<double> xs;
+    for (const FlowCtx& fc : flows) {
+      LinkResult lr;
+      lr.flow = fc.flow;
+      lr.uplink = fc.uplink;
+      lr.throughput_bps = stats.throughput_bps(fc.flow.id, cfg.duration);
+      lr.mean_delay_us = stats.mean_delay_us(fc.flow.id);
+      lr.delivered = stats.delivered(fc.flow.id);
+      xs.push_back(lr.throughput_bps);
+      result.links.push_back(lr);
+    }
+    result.aggregate_throughput_bps =
+        stats.aggregate_throughput_bps(cfg.duration);
+    result.jain_fairness = traffic::FlowStats::jain_index(xs);
+    result.mean_delay_us = stats.mean_delay_us_all();
+    for (const auto& n : dcf_nodes) {
+      result.ack_timeouts += n->ack_timeouts();
+      result.mac_drops += n->drops();
+    }
+    for (const auto& n : domino_aps) {
+      result.ack_timeouts += n->ack_timeouts();
+      result.domino_self_starts += n->self_starts();
+      result.domino_missed_rows += n->missed_rows();
+      result.domino_rows_executed += n->rows_executed();
+    }
+    for (const auto& n : domino_clients) {
+      result.ack_timeouts += n->ack_timeouts();
+    }
+    if (controller) {
+      result.domino_untriggerable = controller->converter().untriggerable_drops();
+      result.domino_batches = controller->batches_planned();
+    }
+    result.timeline = timeline;
+    return result;
+  }
+};
+
+Experiment::Experiment(const topo::Topology& topology,
+                       ExperimentConfig config)
+    : impl_(std::make_unique<Impl>(topology, std::move(config))) {}
+
+Experiment::~Experiment() = default;
+
+ExperimentResult Experiment::run() { return impl_->run(); }
+
+ExperimentResult run_experiment(const topo::Topology& topology,
+                                const ExperimentConfig& config) {
+  return Experiment(topology, config).run();
+}
+
+}  // namespace dmn::api

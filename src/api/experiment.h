@@ -1,0 +1,91 @@
+#pragma once
+// The top-level experiment facade: give it a Topology, a scheme and a
+// traffic spec, and it assembles the full stack (medium, MACs, controller,
+// backbone, sources, sinks), runs the discrete-event simulation and returns
+// the evaluation metrics. Every example and bench goes through this API.
+//
+//   api::ExperimentConfig cfg;
+//   cfg.scheme = api::Scheme::kDomino;
+//   cfg.traffic.downlink_bps = 10e6;
+//   api::ExperimentResult r = api::Experiment(topology, cfg).run();
+
+#include <memory>
+
+#include "api/metrics.h"
+#include "centaur/centaur.h"
+#include "domino/controller.h"
+#include "domino/domino_mac.h"
+#include "mac/mac_common.h"
+#include "phy/signature_model.h"
+#include "topo/topology.h"
+#include "traffic/tcp_reno.h"
+#include "wired/backbone.h"
+
+namespace dmn::api {
+
+enum class Scheme { kDcf, kCentaur, kDomino, kOmniscient };
+
+const char* to_string(Scheme s);
+
+enum class TrafficKind { kUdp, kTcp };
+
+/// An explicitly chosen flow (Figure 2 / Table 2 style scenarios where only
+/// some links carry traffic).
+struct FlowSpec {
+  topo::NodeId src = topo::kNoNode;
+  topo::NodeId dst = topo::kNoNode;
+  double rate_bps = 0.0;  // <= 0 with saturate=false disables
+  bool saturate = true;
+};
+
+struct TrafficSpec {
+  TrafficKind kind = TrafficKind::kUdp;
+  /// Per-flow application rates; <= 0 disables that direction. Saturated
+  /// workloads use `saturate_downlink` / `saturate_uplink` instead.
+  double downlink_bps = 10e6;
+  double uplink_bps = 0.0;
+  bool saturate_downlink = false;
+  bool saturate_uplink = false;
+  std::size_t packet_bytes = 512;
+  /// When non-empty, overrides the per-client defaults above.
+  std::vector<FlowSpec> custom;
+};
+
+struct ExperimentConfig {
+  Scheme scheme = Scheme::kDcf;
+  TrafficSpec traffic;
+  TimeNs duration = sec(50);
+  std::uint64_t seed = 1;
+
+  mac::WifiParams wifi;
+  wired::BackboneParams backbone;
+  domino::DominoParams domino;
+  domino::ConverterParams converter;
+  centaur::CentaurParams centaur;
+  phy::SignatureDetectionModel sig_model;
+  rop::RopParams rop;
+  traffic::TcpParams tcp;
+
+  bool record_timeline = false;
+};
+
+class Experiment {
+ public:
+  Experiment(const topo::Topology& topology, ExperimentConfig config);
+  ~Experiment();
+
+  Experiment(const Experiment&) = delete;
+  Experiment& operator=(const Experiment&) = delete;
+
+  ExperimentResult run();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Convenience wrapper.
+ExperimentResult run_experiment(const topo::Topology& topology,
+                                const ExperimentConfig& config);
+
+}  // namespace dmn::api

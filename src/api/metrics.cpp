@@ -1,0 +1,41 @@
+#include "api/metrics.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace dmn::api {
+
+double coupled_misalignment_us(const TimelineRecorder& timeline,
+                               const topo::Topology& topo,
+                               std::uint64_t slot) {
+  const auto& txs = timeline.transmissions();
+  double worst = 0.0;
+  for (std::size_t i = 0; i < txs.size(); ++i) {
+    if (txs[i].slot != slot) continue;
+    for (std::size_t j = i + 1; j < txs.size(); ++j) {
+      if (txs[j].slot != slot) continue;
+      const auto& a = txs[i];
+      const auto& b = txs[j];
+      const bool coupled = topo.can_sense(a.sender, b.sender) ||
+                           topo.can_sense(a.sender, b.receiver) ||
+                           topo.can_sense(a.receiver, b.sender) ||
+                           topo.can_sense(a.receiver, b.receiver);
+      if (!coupled) continue;
+      worst = std::max(worst, std::abs(to_usec(a.start - b.start)));
+    }
+  }
+  return worst;
+}
+
+std::string summarize(const ExperimentResult& r) {
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "throughput %.2f Mbps | fairness %.3f | delay %.0f us | "
+                "flows %zu | ack_to %llu",
+                r.aggregate_throughput_bps / 1e6, r.jain_fairness,
+                r.mean_delay_us, r.links.size(),
+                static_cast<unsigned long long>(r.ack_timeouts));
+  return buf;
+}
+
+}  // namespace dmn::api

@@ -1,0 +1,56 @@
+#pragma once
+// Result structures shared by examples, tests and benches.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/timeline.h"
+#include "topo/conflict_graph.h"
+#include "traffic/packet.h"
+
+namespace dmn::api {
+
+struct LinkResult {
+  traffic::Flow flow;
+  bool uplink = false;
+  double throughput_bps = 0.0;
+  double mean_delay_us = 0.0;
+  std::uint64_t delivered = 0;
+};
+
+struct ExperimentResult {
+  std::vector<LinkResult> links;
+  double aggregate_throughput_bps = 0.0;
+  double jain_fairness = 1.0;
+  double mean_delay_us = 0.0;
+
+  std::uint64_t ack_timeouts = 0;
+  std::uint64_t mac_drops = 0;
+  topo::PairCensus census;
+
+  /// DOMINO-only diagnostics.
+  std::uint64_t domino_self_starts = 0;
+  std::uint64_t domino_missed_rows = 0;
+  std::uint64_t domino_rows_executed = 0;
+  std::uint64_t domino_untriggerable = 0;
+  std::uint64_t domino_batches = 0;
+
+  /// Present when the config asked for timeline recording (DOMINO only).
+  std::shared_ptr<TimelineRecorder> timeline;
+
+  double throughput_mbps() const { return aggregate_throughput_bps / 1e6; }
+};
+
+/// Pretty one-line summary for benches and examples.
+std::string summarize(const ExperimentResult& r);
+
+/// Misalignment restricted to transmitters that share a collision domain
+/// (any endpoint pair within carrier-sense range): offsets between chains
+/// that cannot even hear each other are physically harmless and would
+/// otherwise dominate the Figure 11 metric on multi-building topologies.
+double coupled_misalignment_us(const TimelineRecorder& timeline,
+                               const topo::Topology& topo,
+                               std::uint64_t slot);
+
+}  // namespace dmn::api

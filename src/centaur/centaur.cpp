@@ -1,0 +1,83 @@
+#include "centaur/centaur.h"
+
+#include <algorithm>
+
+namespace dmn::centaur {
+
+CentaurController::CentaurController(
+    sim::Simulator& sim, wired::Backbone& backbone,
+    const topo::ConflictGraph& downlink_graph, const CentaurParams& params,
+    std::map<topo::NodeId, mac::DcfNode*> ap_macs)
+    : sim_(sim),
+      backbone_(backbone),
+      graph_(downlink_graph),
+      params_(params),
+      ap_macs_(std::move(ap_macs)),
+      rand_(downlink_graph) {
+  // The controller owns AP downlink service from the start.
+  for (auto& [id, mac] : ap_macs_) {
+    (void)id;
+    mac->set_service_enabled(false);
+    mac->set_fixed_backoff(params_.fixed_backoff_slots);
+  }
+}
+
+void CentaurController::start(TimeNs at) {
+  sim_.schedule_at(at, [this] { plan_batch(); });
+}
+
+void CentaurController::plan_batch() {
+  std::vector<std::size_t> demand(graph_.num_links(), 0);
+  for (std::size_t i = 0; i < graph_.num_links(); ++i) {
+    const topo::Link& l = graph_.link(static_cast<topo::LinkId>(i));
+    const auto it = ap_macs_.find(l.sender);
+    if (it != ap_macs_.end()) {
+      demand[i] = it->second->queued_for(l.receiver);
+    }
+  }
+  const std::vector<topo::LinkId> chosen = rand_.schedule_slot(demand);
+  if (chosen.empty()) {
+    sim_.schedule_in(params_.idle_recheck, [this] { plan_batch(); });
+    return;
+  }
+
+  ++batches_;
+  outstanding_ = chosen.size();
+  for (topo::LinkId l : chosen) {
+    const std::size_t quota =
+        std::min(params_.quota, demand[static_cast<std::size_t>(l)]);
+    // Dispatch travels the jittery backbone, so batch members start at
+    // slightly different times — CENTAUR relies on carrier sensing plus the
+    // fixed backoff to re-align them.
+    backbone_.send([this, l, quota] { release_link(l, quota); });
+  }
+}
+
+void CentaurController::release_link(topo::LinkId link, std::size_t quota) {
+  const topo::Link& l = graph_.link(link);
+  mac::DcfNode* ap = ap_macs_.at(l.sender);
+  remaining_quota_[link] = quota;
+  ap->set_dest_filter(l.receiver);
+  ap->set_outcome_hook(
+      [this, link, ap](const traffic::Packet&, bool /*success*/) {
+        auto& left = remaining_quota_[link];
+        if (left > 0) --left;
+        const topo::Link& lk = graph_.link(link);
+        if (left == 0 || ap->queued_for(lk.receiver) == 0) {
+          ap->set_service_enabled(false);
+          ap->set_outcome_hook(nullptr);
+          // Completion report rides the backbone back to the controller.
+          backbone_.send([this, link] { link_finished(link); });
+        }
+      });
+  ap->set_service_enabled(true);
+}
+
+void CentaurController::link_finished(topo::LinkId /*link*/) {
+  if (outstanding_ > 0) --outstanding_;
+  if (outstanding_ == 0) {
+    plan_batch();  // epoch barrier: everyone finished, plan the next batch
+  }
+}
+
+}  // namespace dmn::centaur

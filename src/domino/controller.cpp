@@ -1,0 +1,123 @@
+#include "domino/controller.h"
+
+#include <algorithm>
+
+namespace dmn::domino {
+
+DominoController::DominoController(sim::Simulator& sim,
+                                   wired::Backbone& backbone,
+                                   const topo::Topology& topo,
+                                   const topo::ConflictGraph& graph,
+                                   const SignaturePlan& signatures,
+                                   const DominoParams& params,
+                                   const ConverterParams& conv_params,
+                                   TimeNs slot_duration, TimeNs rop_duration)
+    : sim_(sim),
+      backbone_(backbone),
+      topo_(topo),
+      graph_(graph),
+      converter_(topo, graph, signatures, conv_params),
+      rand_(graph),
+      params_(params),
+      slot_duration_(slot_duration),
+      rop_duration_(rop_duration) {}
+
+void DominoController::start(TimeNs at) {
+  sim_.schedule_at(at, [this] { plan_batch(); });
+}
+
+std::vector<std::size_t> DominoController::demand_vector() const {
+  std::vector<std::size_t> demand(graph_.num_links(), 0);
+  for (const auto& [link, est] : estimates_) {
+    demand[static_cast<std::size_t>(link)] = est;
+  }
+  if (peek_) {
+    for (std::size_t i = 0; i < graph_.num_links(); ++i) {
+      const topo::Link& l = graph_.link(static_cast<topo::LinkId>(i));
+      if (topo_.node(l.sender).is_ap) {
+        demand[i] = peek_(l);
+      }
+    }
+  }
+  return demand;
+}
+
+void DominoController::plan_batch() {
+  sim_.cancel(plan_timer_);
+  ++batches_;
+
+  // Poll every `batches_per_poll` batches.
+  std::vector<topo::NodeId> rop_aps;
+  if ((batches_ - 1) % params_.batches_per_poll == 0) {
+    rop_aps = topo_.aps();
+  }
+
+  std::vector<std::size_t> demand = demand_vector();
+  std::vector<std::vector<topo::LinkId>> strict =
+      rand_.schedule_batch(demand, params_.batch_slots);
+  // Pad with empty slots so the batch (and thus the trigger chain / polling
+  // cadence) keeps a steady length even with no demand; fake-link insertion
+  // fills these with maximal covers.
+  while (strict.size() < params_.batch_slots) strict.emplace_back();
+
+  // Optimistically decrement estimates by what got scheduled.
+  for (const auto& slot : strict) {
+    for (topo::LinkId l : slot) {
+      auto it = estimates_.find(l);
+      if (it != estimates_.end() && it->second > 0) --it->second;
+    }
+  }
+
+  RelativeSchedule rs =
+      converter_.convert(strict, prev_last_, rop_aps, batches_,
+                         next_global_slot_);
+  prev_last_ = rs.slots.back().entries;
+  next_global_slot_ += rs.slots.size() - 1;  // overlap slot is shared
+
+  pending_polls_.clear();
+  for (const RelSlot& s : rs.slots) {
+    for (topo::NodeId ap : s.rop_aps) pending_polls_.insert(ap);
+  }
+
+  if (dispatch_) {
+    for (const ApSchedule& plan : converter_.make_ap_plans(rs)) {
+      if (plan.slots.empty()) continue;
+      backbone_.send([this, plan] { dispatch_(plan); });
+    }
+  }
+
+  // Plan the next batch once all polls report, or — when reports are lost
+  // or this batch has no polls — when the batch's expected airtime elapses.
+  // The fallback must not exceed the batch airtime: a late plan means the
+  // overlap slot executes before its follow-up triggers arrive.
+  std::size_t rop_slots = 0;
+  for (const RelSlot& s : rs.slots) {
+    if (s.rop_after) ++rop_slots;
+  }
+  const TimeNs batch_airtime =
+      static_cast<TimeNs>(params_.batch_slots) * slot_duration_ +
+      static_cast<TimeNs>(rop_slots) * rop_duration_;
+  plan_timer_ = sim_.schedule_in(batch_airtime, [this] { plan_batch(); });
+}
+
+void DominoController::on_ap_report(const ApReport& report) {
+  for (const ClientQueueReport& c : report.clients) {
+    const topo::LinkId l = graph_.find(topo::Link{c.client, report.ap});
+    if (l != topo::kNoLink) {
+      estimates_[l] = c.reported;
+    }
+  }
+  for (const ClientQueueReport& c : report.downlink) {
+    const topo::LinkId l = graph_.find(topo::Link{report.ap, c.client});
+    if (l != topo::kNoLink) {
+      estimates_[l] = c.reported;
+    }
+  }
+  pending_polls_.erase(report.ap);
+  if (pending_polls_.empty()) {
+    // All polls in: plan the next batch now (pipelined with execution).
+    plan_batch();
+  }
+}
+
+}  // namespace dmn::domino

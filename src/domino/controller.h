@@ -1,0 +1,101 @@
+#pragma once
+// The DOMINO central server: collects queue state (uplink via ROP reports
+// relayed by APs over the wired backbone, downlink from AP queue reports),
+// runs the RAND greedy scheduler per batch, converts to a relative schedule
+// and distributes per-AP plans over the jittery backbone (§3.3, §4.2.1).
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <set>
+#include <vector>
+
+#include "domino/converter.h"
+#include "domino/rand_scheduler.h"
+#include "domino/relative_schedule.h"
+#include "sim/simulator.h"
+#include "topo/conflict_graph.h"
+#include "wired/backbone.h"
+
+namespace dmn::domino {
+
+struct DominoParams {
+  std::size_t batch_slots = 10;
+  /// Poll every N batches (1 = every batch, the paper's default; larger
+  /// values are the §5 polling-frequency study).
+  std::size_t batches_per_poll = 1;
+  /// Payload bytes of every virtual packet (fixed slot assumption, §3.5).
+  std::size_t payload_bytes = 512;
+};
+
+/// One client's queue report relayed by an AP.
+struct ClientQueueReport {
+  topo::NodeId client = topo::kNoNode;
+  unsigned reported = 0;
+};
+
+/// What an AP sends the controller after polling (plus its own queues).
+struct ApReport {
+  topo::NodeId ap = topo::kNoNode;
+  std::vector<ClientQueueReport> clients;
+  /// AP-side downlink backlog per client.
+  std::vector<ClientQueueReport> downlink;
+};
+
+class DominoController {
+ public:
+  using DispatchFn = std::function<void(const ApSchedule&)>;
+
+  DominoController(sim::Simulator& sim, wired::Backbone& backbone,
+                   const topo::Topology& topo,
+                   const topo::ConflictGraph& graph,
+                   const SignaturePlan& signatures,
+                   const DominoParams& params,
+                   const ConverterParams& conv_params, TimeNs slot_duration,
+                   TimeNs rop_duration);
+
+  /// `dispatch` delivers an ApSchedule to the given AP's executor; the
+  /// controller wraps it in backbone latency.
+  void set_dispatch(DispatchFn dispatch) { dispatch_ = std::move(dispatch); }
+
+  /// Downlink queue oracle: APs sit on the wired network and push queue
+  /// updates to the server cheaply, so the controller reads AP-side
+  /// (downlink) backlog directly at planning time. Uplink backlog is only
+  /// ever learned through ROP — that is the paper's core constraint.
+  using DownlinkPeekFn = std::function<std::size_t(const topo::Link&)>;
+  void set_downlink_peek(DownlinkPeekFn peek) { peek_ = std::move(peek); }
+
+  void start(TimeNs at);
+
+  /// APs call this (already backbone-delayed by the AP side).
+  void on_ap_report(const ApReport& report);
+
+  std::uint64_t batches_planned() const { return batches_; }
+  const ScheduleConverter& converter() const { return converter_; }
+  ScheduleConverter& converter() { return converter_; }
+
+ private:
+  void plan_batch();
+  std::vector<std::size_t> demand_vector() const;
+
+  sim::Simulator& sim_;
+  wired::Backbone& backbone_;
+  const topo::Topology& topo_;
+  const topo::ConflictGraph& graph_;
+  ScheduleConverter converter_;
+  RandScheduler rand_;
+  DominoParams params_;
+  TimeNs slot_duration_;
+  TimeNs rop_duration_;
+  DispatchFn dispatch_;
+  DownlinkPeekFn peek_;
+
+  std::map<topo::LinkId, std::size_t> estimates_;
+  std::vector<SlotEntry> prev_last_;
+  std::uint64_t next_global_slot_ = 0;
+  std::uint64_t batches_ = 0;
+  std::set<topo::NodeId> pending_polls_;
+  sim::EventHandle plan_timer_;
+};
+
+}  // namespace dmn::domino

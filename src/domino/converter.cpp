@@ -1,0 +1,368 @@
+#include "domino/converter.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace dmn::domino {
+
+ScheduleConverter::ScheduleConverter(const topo::Topology& topo,
+                                     const topo::ConflictGraph& graph,
+                                     const SignaturePlan& signatures,
+                                     const ConverterParams& params)
+    : topo_(topo), graph_(graph), signatures_(signatures), params_(params) {}
+
+std::vector<topo::NodeId> ScheduleConverter::endpoints(
+    const RelSlot& slot) const {
+  std::vector<topo::NodeId> out;
+  for (const SlotEntry& e : slot.entries) {
+    const topo::Link& l = graph_.link(e.link);
+    out.push_back(l.sender);
+    out.push_back(l.receiver);
+  }
+  return out;
+}
+
+bool ScheduleConverter::can_trigger(topo::NodeId via,
+                                    topo::NodeId target) const {
+  if (via == target) return true;
+  return topo_.rss(via, target) >= params_.trigger_rss_floor_dbm;
+}
+
+bool ScheduleConverter::aps_can_share_rop(topo::NodeId a,
+                                          topo::NodeId b) const {
+  // Two APs may poll together iff none of their associated links conflict.
+  for (std::size_t i = 0; i < graph_.num_links(); ++i) {
+    const topo::Link& la = graph_.link(static_cast<topo::LinkId>(i));
+    if (la.sender != a && la.receiver != a) continue;
+    for (std::size_t j = 0; j < graph_.num_links(); ++j) {
+      const topo::Link& lb = graph_.link(static_cast<topo::LinkId>(j));
+      if (lb.sender != b && lb.receiver != b) continue;
+      if (graph_.conflicts(static_cast<topo::LinkId>(i),
+                           static_cast<topo::LinkId>(j))) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void ScheduleConverter::assign_triggers(RelSlot& from, RelSlot& to) {
+  if (from.entries.empty()) {
+    // Very first batch: no preceding slot exists, so nothing can trigger —
+    // the APs individually self-start this slot from their local clocks
+    // (§3.3 batch connection). Keep every entry, assign no triggers.
+    from.rop_aps.clear();
+    from.rop_after = false;
+    return;
+  }
+  // Targets: senders of `to`'s entries, plus APs polling right after
+  // `from`. Clients must receive an explicit signature; APs self-continue
+  // when they are an endpoint of `from`. Priority order: real entries,
+  // then polling APs, then fake entries — a fake client target may be
+  // *sacrificed* (used as a via instead of listening for its own trigger)
+  // when it is the only node that can reach a higher-priority target.
+  struct Target {
+    topo::NodeId node;
+    bool is_entry;           // false for polling APs
+    bool fake;
+    std::size_t entry_index; // into to.entries when is_entry
+  };
+  std::vector<Target> targets;
+  for (std::size_t i = 0; i < to.entries.size(); ++i) {
+    if (to.entries[i].fake) continue;
+    const topo::Link& l = graph_.link(to.entries[i].link);
+    targets.push_back(Target{l.sender, true, false, i});
+  }
+  for (topo::NodeId ap : from.rop_aps) {
+    targets.push_back(Target{ap, false, false, 0});
+  }
+  for (std::size_t i = 0; i < to.entries.size(); ++i) {
+    if (!to.entries[i].fake) continue;
+    const topo::Link& l = graph_.link(to.entries[i].link);
+    targets.push_back(Target{l.sender, true, true, i});
+  }
+
+  const std::vector<topo::NodeId> vias = endpoints(from);
+  std::map<topo::NodeId, int> outbound;
+  std::map<topo::NodeId, int> inbound;
+
+  // Instructed continuation: a client target that is already an endpoint
+  // of `from` gets its "go again" in-band from its AP (data frame or ACK),
+  // costing nothing and requiring no listening.
+  std::set<topo::NodeId> continuation_ok;
+  for (const SlotEntry& e : from.entries) {
+    const topo::Link& l = graph_.link(e.link);
+    const topo::NodeId client =
+        topo_.node(l.sender).is_ap ? l.receiver : l.sender;
+    continuation_ok.insert(client);
+  }
+
+  // Clients that must *listen* at this boundary — next-slot senders of
+  // REAL entries without a continuation path cannot broadcast signatures
+  // at the same instant (half-duplex would make them deaf to their own
+  // trigger).
+  std::set<topo::NodeId> must_listen;
+  for (const Target& t : targets) {
+    if (!t.fake && !topo_.node(t.node).is_ap &&
+        !continuation_ok.contains(t.node)) {
+      must_listen.insert(t.node);
+    }
+  }
+  // Clients actually used as vias: a fake target among them loses its slot.
+  std::set<topo::NodeId> used_as_via;
+
+  auto pick_via = [&](const Target& tgt,
+                      const std::vector<topo::NodeId>& exclude)
+      -> topo::NodeId {
+    const topo::NodeId target = tgt.node;
+    // Self-continuation: free, APs only (they hold the schedule).
+    const bool target_is_ap = topo_.node(target).is_ap;
+    if (target_is_ap &&
+        std::find(vias.begin(), vias.end(), target) != vias.end() &&
+        std::find(exclude.begin(), exclude.end(), target) == exclude.end()) {
+      return target;
+    }
+    topo::NodeId best = topo::kNoNode;
+    double best_rss = -1e9;
+    for (topo::NodeId v : vias) {
+      if (v == target) continue;  // clients cannot self-time
+      if (must_listen.contains(v)) continue;
+      if (std::find(exclude.begin(), exclude.end(), v) != exclude.end()) {
+        continue;
+      }
+      if (outbound[v] >= params_.max_outbound) continue;
+      if (!can_trigger(v, target)) continue;
+      const double rss = topo_.rss(v, target);
+      if (rss > best_rss) {
+        best_rss = rss;
+        best = v;
+      }
+    }
+    return best;
+  };
+
+  auto assign_one = [&](const Target& tgt,
+                        std::vector<topo::NodeId>& already) -> bool {
+    const bool is_client = !topo_.node(tgt.node).is_ap;
+    // Continuation first: free and robust for clients staying active.
+    if (is_client && continuation_ok.contains(tgt.node) &&
+        already.empty()) {
+      const topo::NodeId ap = topo_.node(tgt.node).ap;
+      already.push_back(ap);
+      from.triggers.push_back(Trigger{ap, tgt.node, /*continuation=*/true});
+      ++inbound[tgt.node];
+      return true;
+    }
+    // A (fake) client already bursting as a via cannot also listen.
+    if (is_client && used_as_via.contains(tgt.node)) {
+      return false;
+    }
+    // Continuation clients do not listen; they cannot take RF backups.
+    if (is_client && continuation_ok.contains(tgt.node)) return false;
+    const topo::NodeId via = pick_via(tgt, already);
+    if (via == topo::kNoNode) return false;
+    already.push_back(via);
+    from.triggers.push_back(Trigger{via, tgt.node});
+    ++inbound[tgt.node];
+    if (via != tgt.node) {
+      ++outbound[via];
+      if (!topo_.node(via).is_ap) used_as_via.insert(via);
+    }
+    return true;
+  };
+
+  // Pass 1 in priority order, then pass 2 (backup trigger) where budgets
+  // allow.
+  std::vector<bool> reachable(targets.size(), false);
+  std::vector<std::vector<topo::NodeId>> assigned(targets.size());
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    reachable[t] = assign_one(targets[t], assigned[t]);
+  }
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    if (!reachable[t]) continue;
+    if (inbound[targets[t].node] >= params_.max_inbound) continue;
+    assign_one(targets[t], assigned[t]);
+  }
+
+  // Fake entries whose sender was sacrificed as a via (or is otherwise
+  // unreachable) are dropped — they are optional filler. Real entries and
+  // polling APs are KEPT even when untriggerable: the AP holds the
+  // schedule and executes the slot from its anchored slot lattice (the
+  // generalized "APs individually start executing" rule); a downlink AP
+  // with no RF trigger path would otherwise starve forever. Untriggered
+  // uplink entries rely on the AP-side kick.
+  std::vector<SlotEntry> kept;
+  for (std::size_t t = 0; t < targets.size(); ++t) {
+    if (!targets[t].is_entry) continue;
+    if (reachable[t] || !targets[t].fake) {
+      kept.push_back(to.entries[targets[t].entry_index]);
+      if (!reachable[t]) ++dropped_;  // stat: executed on lattice timing
+    }
+  }
+  to.entries = std::move(kept);
+}
+
+RelativeSchedule ScheduleConverter::convert(
+    const std::vector<std::vector<topo::LinkId>>& strict,
+    const std::vector<SlotEntry>& prev_last,
+    const std::vector<topo::NodeId>& rop_aps_needed, std::uint64_t batch_id,
+    std::uint64_t first_global_index) {
+  RelativeSchedule rs;
+  rs.batch_id = batch_id;
+
+  // Overlap slot (batch connection).
+  RelSlot overlap;
+  overlap.global_index = first_global_index;
+  overlap.entries = prev_last;
+  rs.slots.push_back(std::move(overlap));
+
+  // New slots with fake-link insertion.
+  std::vector<topo::LinkId> all_links(graph_.num_links());
+  for (std::size_t i = 0; i < all_links.size(); ++i) {
+    all_links[i] = static_cast<topo::LinkId>(i);
+  }
+  for (std::size_t s = 0; s < strict.size(); ++s) {
+    RelSlot slot;
+    slot.global_index = first_global_index + 1 + s;
+    std::vector<topo::LinkId> links = strict[s];
+    const std::size_t real_count = links.size();
+    if (params_.insert_fake_links) {
+      graph_.extend_to_maximal(links, all_links);
+    }
+    for (std::size_t i = 0; i < links.size(); ++i) {
+      slot.entries.push_back(SlotEntry{links[i], i >= real_count});
+    }
+    rs.slots.push_back(std::move(slot));
+  }
+
+  // Greedy ROP insertion (before triggers so polling APs get triggers too).
+  // Boundary 0 is the overlap slot — it may already be executing when this
+  // batch's plan reaches the APs, so polls there could be silently lost;
+  // start at boundary 1.
+  for (topo::NodeId ap : rop_aps_needed) {
+    bool placed = false;
+    for (std::size_t i = 1; i + 1 < rs.slots.size() && !placed; ++i) {
+      RelSlot& si = rs.slots[i];
+      // Can si trigger this AP?
+      bool reachable = false;
+      for (topo::NodeId v : endpoints(si)) {
+        if (v == ap || can_trigger(v, ap)) {
+          reachable = true;
+          break;
+        }
+      }
+      if (!reachable) continue;
+      if (!si.rop_after) {
+        si.rop_after = true;
+        si.rop_aps.push_back(ap);
+        placed = true;
+      } else {
+        bool shareable = true;
+        for (topo::NodeId other : si.rop_aps) {
+          if (!aps_can_share_rop(ap, other)) {
+            shareable = false;
+            break;
+          }
+        }
+        if (shareable) {
+          si.rop_aps.push_back(ap);
+          placed = true;
+        }
+      }
+    }
+    if (!placed && rs.slots.size() > 1) {
+      // No boundary can trigger this AP: poll anyway at the last boundary;
+      // the AP self-starts the poll from its schedule anchor.
+      RelSlot& last = rs.slots[rs.slots.size() - 2];
+      last.rop_after = true;
+      last.rop_aps.push_back(ap);
+    }
+  }
+
+  // Trigger assignment across consecutive slot pairs.
+  for (std::size_t i = 0; i + 1 < rs.slots.size(); ++i) {
+    assign_triggers(rs.slots[i], rs.slots[i + 1]);
+  }
+  return rs;
+}
+
+std::vector<ApSchedule> ScheduleConverter::make_ap_plans(
+    const RelativeSchedule& rs) const {
+  std::map<topo::NodeId, ApSchedule> plans;
+  const std::uint64_t first_new =
+      rs.slots.size() > 1 ? rs.slots[1].global_index
+                          : rs.slots.front().global_index;
+  std::vector<std::uint64_t> rop_boundaries;
+  for (const RelSlot& slot : rs.slots) {
+    if (slot.rop_after) rop_boundaries.push_back(slot.global_index);
+  }
+  for (topo::NodeId ap : topo_.aps()) {
+    plans[ap].ap = ap;
+    plans[ap].batch_id = rs.batch_id;
+    plans[ap].batch_first_slot = first_new;
+    plans[ap].rop_boundaries = rop_boundaries;
+  }
+
+  for (const RelSlot& slot : rs.slots) {
+    // Start a plan row for any AP that acts in this slot.
+    std::map<topo::NodeId, ApSlotPlan> rows;
+    auto row = [&](topo::NodeId ap) -> ApSlotPlan& {
+      auto [it, fresh] = rows.try_emplace(ap);
+      if (fresh) it->second.global_index = slot.global_index;
+      return it->second;
+    };
+
+    for (const SlotEntry& e : slot.entries) {
+      const topo::Link& l = graph_.link(e.link);
+      const bool down = topo_.node(l.sender).is_ap;
+      const topo::NodeId ap = down ? l.sender : l.receiver;
+      ApSlotPlan& r = row(ap);
+      r.role = down ? ApSlotPlan::Role::kTxData : ApSlotPlan::Role::kRxData;
+      r.peer = down ? l.receiver : l.sender;
+      r.fake = e.fake;
+    }
+    for (const Trigger& t : slot.triggers) {
+      if (t.continuation) {
+        // In-band "go again" for the via-AP's client.
+        row(t.via).client_continue = true;
+        continue;
+      }
+      if (t.via == t.target) continue;  // self-continuation, no airtime
+      const topo::Node& via_node = topo_.node(t.via);
+      const std::size_t code = signatures_.code_of(t.target);
+      if (via_node.is_ap) {
+        row(t.via).my_codes.push_back(code);
+      } else {
+        // Client via: the instruction rides its AP's data frame or ACK.
+        row(via_node.ap).client_codes.push_back(code);
+      }
+    }
+    if (slot.rop_after) {
+      for (const SlotEntry& e : slot.entries) {
+        const topo::Link& l = graph_.link(e.link);
+        const topo::NodeId ap =
+            topo_.node(l.sender).is_ap ? l.sender : l.receiver;
+        row(ap).rop_after = true;
+      }
+      for (topo::NodeId ap : slot.rop_aps) {
+        ApSlotPlan& r = row(ap);
+        r.rop_after = true;
+        r.polls_in_rop = true;
+      }
+    }
+    for (auto& [ap, plan_row] : rows) {
+      plans[ap].slots.push_back(std::move(plan_row));
+    }
+  }
+
+  std::vector<ApSchedule> out;
+  out.reserve(plans.size());
+  for (auto& [ap, plan] : plans) {
+    (void)ap;
+    out.push_back(std::move(plan));
+  }
+  return out;
+}
+
+}  // namespace dmn::domino

@@ -1,0 +1,81 @@
+#pragma once
+// The Schedule Converter (§3.3): turns a strict schedule produced by an
+// arbitrary scheduler into a relative schedule.
+//
+//  1. Fake-link insertion: every slot is extended to a maximal independent
+//     set in the conflict graph; inserted links are marked fake (they send
+//     a header-only packet when the sender has no data) so every node keeps
+//     hearing triggers.
+//  2. ROP-slot insertion (greedy): each AP that must be polled gets an ROP
+//     slot at the first boundary whose preceding slot can trigger it;
+//     non-conflicting APs share an ROP slot; at most one ROP slot per
+//     boundary.
+//  3. Trigger assignment: for every sender in slot i+1 (and every AP
+//     polling at boundary i), pick up to `max_inbound` (2) triggering
+//     endpoints from slot i, best-RSS first, honoring the per-node
+//     `max_outbound` (4) signature budget. A node active in consecutive
+//     slots self-continues at zero cost (APs know their schedule; clients
+//     never self-continue because they don't).
+//  4. Batch connection: the previous batch's last slot is carried as
+//     slots[0] so its endpoints trigger this batch's first new slot.
+//
+// Targets with no reachable trigger are dropped from the slot ("the
+// scheduler will reschedule such links").
+
+#include <vector>
+
+#include "domino/relative_schedule.h"
+#include "domino/signature_plan.h"
+#include "topo/conflict_graph.h"
+#include "topo/topology.h"
+
+namespace dmn::domino {
+
+struct ConverterParams {
+  int max_inbound = 2;   // triggers per target (robustness vs reliability)
+  int max_outbound = 4;  // signatures one node may combine (Figure 9)
+  /// A signature from `via` reaches `target` when rss >= this floor
+  /// (correlation gain makes signatures detectable at carrier-sense level).
+  double trigger_rss_floor_dbm = -82.0;
+  bool insert_fake_links = true;  // ablation knob
+};
+
+class ScheduleConverter {
+ public:
+  ScheduleConverter(const topo::Topology& topo,
+                    const topo::ConflictGraph& graph,
+                    const SignaturePlan& signatures,
+                    const ConverterParams& params = {});
+
+  /// Converts one strict batch. `prev_last` is the retained last slot of
+  /// the previous batch (empty entries for the very first batch).
+  /// `rop_aps_needed` lists APs to poll within this batch.
+  /// `first_global_index` is the global index of the overlap slot.
+  RelativeSchedule convert(
+      const std::vector<std::vector<topo::LinkId>>& strict,
+      const std::vector<SlotEntry>& prev_last,
+      const std::vector<topo::NodeId>& rop_aps_needed,
+      std::uint64_t batch_id, std::uint64_t first_global_index);
+
+  /// Splits a relative schedule into per-AP plans for distribution.
+  std::vector<ApSchedule> make_ap_plans(const RelativeSchedule& rs) const;
+
+  /// Count of entries dropped because no trigger could reach them.
+  std::uint64_t untriggerable_drops() const { return dropped_; }
+
+ private:
+  /// Endpoints (senders and receivers) of a slot's entries.
+  std::vector<topo::NodeId> endpoints(const RelSlot& slot) const;
+  bool can_trigger(topo::NodeId via, topo::NodeId target) const;
+  bool aps_can_share_rop(topo::NodeId a, topo::NodeId b) const;
+
+  void assign_triggers(RelSlot& from, RelSlot& to);
+
+  const topo::Topology& topo_;
+  const topo::ConflictGraph& graph_;
+  const SignaturePlan& signatures_;
+  ConverterParams params_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dmn::domino

@@ -1,0 +1,323 @@
+#pragma once
+// DOMINO execution agents: the AP- and client-side MAC entities that run a
+// relative schedule (§3.2-§3.5, Figures 8 and 10).
+//
+// Slot structure (fixed "virtual packet" duration, §3.5):
+//   t0                 data phase      (real data, or header-only fake)
+//   t0+data+SIFS       ACK             (real data only)
+//   ...+ACK+slot       signature phase both endpoints broadcast combined
+//                                      signatures, then S' (or the ROP
+//                                      signature when an ROP slot follows)
+//   burst end + slot   next slot's t0  (or + ROP duration after ROP slots)
+//
+// APs know their slice of the schedule (global-slot-indexed rows shipped by
+// the controller); clients are purely reactive: they transmit on detecting
+// their own signature, rebroadcast the signature samples their AP embedded
+// in the slot's data frame / ACK, answer polls on their assigned OFDM
+// subchannel, and retransmit un-ACKed packets on the next trigger (§3.5).
+//
+// Liveness / healing: every node passively re-anchors its notion of slot
+// timing on the last correctly received trigger (Figure 11's convergence);
+// APs additionally self-start a pending row if the chain stays silent two
+// slot durations past the row's expected start — the generalization of the
+// paper's "APs individually start executing the schedule" bootstrap.
+
+#include <deque>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <vector>
+
+#include "domino/controller.h"
+#include "domino/relative_schedule.h"
+#include "domino/signature_plan.h"
+#include "mac/mac_common.h"
+#include "phy/medium.h"
+#include "phy/signature_model.h"
+#include "rop/rop_protocol.h"
+#include "sim/simulator.h"
+#include "traffic/queue.h"
+#include "util/rng.h"
+
+namespace dmn::domino {
+
+/// Derived airtimes of the DOMINO slot structure.
+struct DominoTiming {
+  mac::WifiParams wifi;
+  std::size_t payload_bytes = 512;
+  std::size_t fake_header_bytes = 28;  // fake packet: header only (§3.3)
+  std::size_t poll_bytes = 16;
+  TimeNs sig_air = usec(6.35);   // one length-127 signature at 20 MHz
+  TimeNs rop_symbol = usec(16);  // Table 1
+  TimeNs rop_guard = usec(40);   // absorbs residual chain misalignment
+  /// §5 co-existence: DOMINO frames carry a NAV covering the rest of their
+  /// slot, so external 802.11 contenders defer for the contention-free
+  /// period and only transmit in the gaps DOMINO leaves idle.
+  bool protect_with_nav = true;
+
+  TimeNs data_air() const { return wifi.data_airtime(payload_bytes); }
+  TimeNs fake_air() const {
+    return phy::frame_airtime(fake_header_bytes, wifi.data_rate_bps);
+  }
+  TimeNs ack_air() const { return wifi.ack_airtime(); }
+  TimeNs poll_air() const {
+    return phy::frame_airtime(poll_bytes + wifi.mac_header_bytes,
+                              wifi.control_rate_bps);
+  }
+  /// Combined signatures followed by S' (or the ROP signature).
+  TimeNs burst_air() const { return 2 * sig_air; }
+  /// Signature phase offset from the slot's data start.
+  TimeNs sig_phase_offset() const {
+    return data_air() + wifi.sifs + ack_air() + wifi.slot_time;
+  }
+  /// Full slot pitch (slot start to next slot start).
+  TimeNs slot_duration() const {
+    return sig_phase_offset() + burst_air() + wifi.slot_time;
+  }
+  /// Extra wait when an ROP slot is inserted at the boundary.
+  TimeNs rop_duration() const {
+    return poll_air() + wifi.slot_time + rop_symbol + rop_guard;
+  }
+};
+
+/// Hooks for the timeline / misalignment recorders (api/timeline.h).
+struct DominoTrace {
+  /// (slot index, node, peer, start, fake?, uplink?)
+  std::function<void(std::uint64_t, topo::NodeId, topo::NodeId, TimeNs, bool,
+                     bool)>
+      on_data_tx;
+  std::function<void(std::uint64_t, topo::NodeId, TimeNs)> on_poll;
+  std::function<void(std::uint64_t, topo::NodeId, TimeNs)> on_trigger;
+};
+
+/// Shared behaviour: signature-burst detection buffer and slot anchoring.
+class DominoNodeBase : public phy::MediumClient {
+ public:
+  DominoNodeBase(sim::Simulator& sim, phy::Medium& medium, topo::NodeId node,
+                 const DominoTiming& timing, const SignaturePlan& signatures,
+                 const phy::SignatureDetectionModel& model, Rng rng,
+                 DominoTrace* trace);
+
+  topo::NodeId node() const { return radio_.node(); }
+
+ protected:
+  /// Called when this node's signature (plus S'/ROP) was detected; `tag` is
+  /// the slot the burst closed, `rop` whether an ROP slot follows.
+  virtual void on_trigger_detected(std::uint64_t tag, bool rop,
+                                   TimeNs detect_time) = 0;
+
+  /// Broadcasts the combined trigger burst at the signature phase.
+  /// `recovery` marks off-lattice kick bursts (not a timing reference).
+  void send_burst(const std::vector<std::size_t>& codes, std::uint64_t tag,
+                  bool rop_flag, bool recovery = false);
+
+  void on_frame_rx(const phy::Frame& frame, const phy::RxInfo& info) override;
+
+  /// Subclass hook for non-signature frames.
+  virtual void handle_frame(const phy::Frame& frame,
+                            const phy::RxInfo& info) = 0;
+
+  /// Called after the anchor moved the lattice later: pending slot-timed
+  /// actions should re-snap ("last correctly received trigger as time
+  /// reference").
+  virtual void on_anchor_moved() {}
+
+  /// Updates the slot-timing anchor. Heard references are adopted
+  /// monotonically: a reference implying an *earlier* lattice than the
+  /// current one (by more than a quarter slot) is rejected — chains defer
+  /// to the latest (slowest) reference, which is what makes misaligned
+  /// chains converge instead of islands forming. `force` bypasses the
+  /// check; used when a node's own slot execution establishes ground
+  /// truth for its chain phase.
+  void update_anchor(std::uint64_t tag, TimeNs t0, bool force = false);
+  bool has_anchor() const { return anchor_valid_; }
+  std::uint64_t anchor_tag() const { return anchor_tag_; }
+  TimeNs expected_start(std::uint64_t tag) const;
+
+  sim::Simulator& sim_;
+  phy::Transceiver radio_;
+  DominoTiming timing_;
+  const SignaturePlan& signatures_;
+  phy::SignatureDetectionModel model_;
+  Rng rng_;
+  DominoTrace* trace_;
+
+ private:
+  void evaluate_sig_buffer();
+
+  struct BufferedBurst {
+    phy::SignatureBurst burst;
+    double sinr_db;
+    std::uint64_t tag;
+    TimeNs end_time;
+  };
+  std::vector<BufferedBurst> sig_buffer_;
+  bool eval_scheduled_ = false;
+
+  bool anchor_valid_ = false;
+  std::uint64_t anchor_tag_ = 0;
+  TimeNs anchor_t0_ = 0;
+  int anchor_rejections_ = 0;  // consecutive earlier-than-lattice refs
+};
+
+class DominoApMac final : public DominoNodeBase, public mac::MacEntity {
+ public:
+  struct ClientInfo {
+    topo::NodeId client;
+    std::size_t subchannel;
+    double rss_at_ap;
+  };
+
+  DominoApMac(sim::Simulator& sim, phy::Medium& medium, topo::NodeId node,
+              const DominoTiming& timing, const SignaturePlan& signatures,
+              const phy::SignatureDetectionModel& model,
+              const rop::RopParams& rop_params, Rng rng,
+              mac::DeliveryFn deliver,
+              std::function<void(const ApReport&)> report_fn,
+              DominoTrace* trace);
+
+  void set_clients(std::vector<ClientInfo> clients);
+
+  // MacEntity.
+  bool enqueue(traffic::Packet p) override;
+  std::size_t queue_size() const override { return queue_.size(); }
+  std::size_t queued_for(topo::NodeId dst) const {
+    return queue_.count_for(dst);
+  }
+
+  /// Controller dispatch (already backbone-delayed). Merges by slot index.
+  void receive_plan(const ApSchedule& plan);
+
+  std::uint64_t ack_timeouts() const { return ack_timeouts_; }
+  std::uint64_t self_starts() const { return self_starts_; }
+  std::uint64_t rows_executed() const { return rows_executed_; }
+  std::uint64_t missed_rows() const { return missed_rows_; }
+  std::uint64_t retry_drops() const { return retry_drops_; }
+
+ protected:
+  void on_trigger_detected(std::uint64_t tag, bool rop,
+                           TimeNs detect_time) override;
+  void handle_frame(const phy::Frame& frame, const phy::RxInfo& info) override;
+
+ private:
+  struct Row {
+    ApSlotPlan plan;
+    bool executed = false;
+    /// Self-start already broadcast a kick trigger for this uplink row.
+    bool kick_sent = false;
+    /// Write-off deadline after the kick.
+    TimeNs kick_deadline = kTimeNever;
+  };
+
+  Row* find_row(std::uint64_t g);
+  Row* next_pending();
+  TimeNs row_due(const Row& r) const;
+  /// Anchor-predicted start of slot g, including known ROP boundaries.
+  TimeNs anchored_start(std::uint64_t g) const;
+  void on_anchor_moved() override;
+  /// Marks every row below `g` missed and moves the execution frontier —
+  /// slots are strictly ordered; a laggard catches up by skipping, never by
+  /// running stale slots out of order.
+  void advance_frontier(std::uint64_t g);
+  void arm_self_start();
+  void on_self_start_timer();
+  void schedule_tx(std::uint64_t g, TimeNs at);
+  void execute_tx(std::uint64_t g);
+  void after_data_phase(const Row& row, TimeNs slot_t0, bool uplink);
+  void finish_slot(std::uint64_t g);
+  void execute_poll(std::uint64_t g, TimeNs at);
+  void evaluate_poll(std::uint64_t g);
+  void prune_executed(std::uint64_t upto);
+
+  rop::RopParams rop_params_;
+  rop::RopLinkModel rop_model_;
+  mac::DeliveryFn deliver_;
+  std::function<void(const ApReport&)> report_fn_;
+
+  std::vector<ClientInfo> clients_;
+  traffic::PacketQueue queue_;
+  std::map<std::uint64_t, Row> rows_;
+  std::set<std::uint64_t> rop_boundaries_;  // shared slot-lattice stretch
+  std::uint64_t frontier_ = 0;  // highest executed slot index
+
+  // In-flight TX bookkeeping.
+  sim::EventHandle tx_event_;
+  std::uint64_t tx_pending_slot_ = 0;
+  bool tx_scheduled_ = false;
+  TimeNs tx_scheduled_at_ = 0;
+  sim::EventHandle ack_timer_;
+  traffic::PacketId awaiting_ack_ = 0;
+  bool awaiting_ack_valid_ = false;
+  topo::NodeId awaiting_peer_ = topo::kNoNode;
+  std::map<traffic::PacketId, int> tx_attempts_;
+
+  sim::EventHandle self_start_timer_;
+
+  // Poll collection state.
+  struct PollResponse {
+    topo::NodeId client;
+    std::size_t subchannel;
+    unsigned report;
+    bool decoded;
+  };
+  std::vector<PollResponse> poll_responses_;
+  bool polling_ = false;
+
+  // Duplicate filter for uplink deliveries.
+  std::map<topo::NodeId, std::set<traffic::PacketId>> seen_;
+
+  std::uint64_t ack_timeouts_ = 0;
+  std::uint64_t self_starts_ = 0;
+  std::uint64_t rows_executed_ = 0;
+  std::uint64_t retry_drops_ = 0;
+  std::uint64_t missed_rows_ = 0;
+};
+
+class DominoClientMac final : public DominoNodeBase, public mac::MacEntity {
+ public:
+  DominoClientMac(sim::Simulator& sim, phy::Medium& medium, topo::NodeId node,
+                  topo::NodeId ap, std::size_t subchannel,
+                  const DominoTiming& timing, const SignaturePlan& signatures,
+                  const phy::SignatureDetectionModel& model, Rng rng,
+                  mac::DeliveryFn deliver, DominoTrace* trace);
+
+  bool enqueue(traffic::Packet p) override;
+  std::size_t queue_size() const override { return queue_.size(); }
+
+  std::uint64_t ack_timeouts() const { return ack_timeouts_; }
+
+ protected:
+  void on_trigger_detected(std::uint64_t tag, bool rop,
+                           TimeNs detect_time) override;
+  void handle_frame(const phy::Frame& frame, const phy::RxInfo& info) override;
+
+ private:
+  void execute_tx(std::uint64_t slot_tag);
+  void on_anchor_moved() override;
+  void schedule_data_tx(std::uint64_t tag, TimeNs at);
+  void handle_continuation(const phy::SignatureBurst& instr,
+                           std::uint64_t tag, TimeNs slot_t0);
+  void schedule_instructed_burst(const phy::SignatureBurst& instr,
+                                 std::uint64_t tag, TimeNs at);
+
+  topo::NodeId ap_;
+  std::size_t subchannel_;
+  mac::DeliveryFn deliver_;
+  traffic::PacketQueue queue_;
+
+  sim::EventHandle tx_event_;
+  bool tx_scheduled_ = false;
+  TimeNs tx_scheduled_at_ = 0;
+  std::uint64_t tx_slot_tag_ = 0;
+  sim::EventHandle ack_timer_;
+  traffic::PacketId awaiting_ack_ = 0;
+  bool awaiting_ack_valid_ = false;
+  std::uint64_t last_tx_tag_ = 0;  // stale-trigger guard
+
+  std::set<traffic::PacketId> seen_;  // downlink duplicate filter
+
+  std::uint64_t ack_timeouts_ = 0;
+};
+
+}  // namespace dmn::domino

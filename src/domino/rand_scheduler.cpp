@@ -1,0 +1,61 @@
+#include "domino/rand_scheduler.h"
+
+#include <algorithm>
+
+namespace dmn::domino {
+
+RandScheduler::RandScheduler(const topo::ConflictGraph& graph)
+    : graph_(graph) {
+  queue_.reserve(graph.num_links());
+  for (std::size_t i = 0; i < graph.num_links(); ++i) {
+    queue_.push_back(static_cast<topo::LinkId>(i));
+  }
+}
+
+std::vector<topo::LinkId> RandScheduler::schedule_slot(
+    const std::vector<std::size_t>& demand) {
+  std::vector<topo::LinkId> chosen;
+  for (topo::LinkId cand : queue_) {
+    if (demand[static_cast<std::size_t>(cand)] == 0) continue;
+    bool ok = true;
+    for (topo::LinkId c : chosen) {
+      if (graph_.conflicts(cand, c)) {
+        ok = false;
+        break;
+      }
+    }
+    if (ok) chosen.push_back(cand);
+  }
+  if (!chosen.empty()) {
+    // Move the served links to the tail (fairness, §4.2.1).
+    std::vector<topo::LinkId> next;
+    next.reserve(queue_.size());
+    for (topo::LinkId l : queue_) {
+      if (std::find(chosen.begin(), chosen.end(), l) == chosen.end()) {
+        next.push_back(l);
+      }
+    }
+    next.insert(next.end(), chosen.begin(), chosen.end());
+    queue_ = std::move(next);
+  }
+  return chosen;
+}
+
+std::vector<std::vector<topo::LinkId>> RandScheduler::schedule_batch(
+    std::vector<std::size_t> demand, std::size_t slots) {
+  std::vector<std::vector<topo::LinkId>> batch;
+  for (std::size_t s = 0; s < slots; ++s) {
+    std::vector<topo::LinkId> slot = schedule_slot(demand);
+    for (topo::LinkId l : slot) {
+      auto& d = demand[static_cast<std::size_t>(l)];
+      if (d > 0) --d;
+    }
+    const bool empty = slot.empty();
+    batch.push_back(std::move(slot));
+    if (empty && s > 0) break;  // demand exhausted
+  }
+  if (batch.empty()) batch.emplace_back();
+  return batch;
+}
+
+}  // namespace dmn::domino

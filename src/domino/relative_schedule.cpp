@@ -1,0 +1,4 @@
+#include "domino/relative_schedule.h"
+
+// Data-model header; this TU anchors the module in the archive.
+namespace dmn::domino {}

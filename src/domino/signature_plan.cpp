@@ -1,0 +1,4 @@
+#include "domino/signature_plan.h"
+
+// Header-only in practice; this TU anchors the module in the archive.
+namespace dmn::domino {}

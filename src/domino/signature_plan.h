@@ -1,0 +1,49 @@
+#pragma once
+// Controller-side assignment of Gold-code signatures to nodes (§3.2): every
+// node gets a unique code when it joins; two codes are reserved for the
+// START signature S' and the ROP signature. One collision domain supports
+// 127 nodes with the length-127 set (codes are reusable across domains; our
+// experiments stay within one domain).
+
+#include <cstddef>
+#include <stdexcept>
+
+#include "gold/gold_code.h"
+#include "topo/node.h"
+
+namespace dmn::domino {
+
+class SignaturePlan {
+ public:
+  explicit SignaturePlan(std::size_t num_nodes) : num_nodes_(num_nodes) {
+    if (num_nodes > gold::kMaxNodesPerDomain) {
+      throw std::invalid_argument(
+          "SignaturePlan: more than 127 nodes in one collision domain "
+          "(use longer Gold codes, see bench_signature_length)");
+    }
+  }
+
+  std::size_t code_of(topo::NodeId node) const {
+    if (node < 0 || static_cast<std::size_t>(node) >= num_nodes_) {
+      throw std::out_of_range("SignaturePlan::code_of");
+    }
+    return static_cast<std::size_t>(node);
+  }
+
+  topo::NodeId node_of(std::size_t code) const {
+    if (code >= num_nodes_) return topo::kNoNode;
+    return static_cast<topo::NodeId>(code);
+  }
+
+  static constexpr std::size_t start_code() {
+    return gold::kStartSignatureIndex;
+  }
+  static constexpr std::size_t rop_code() { return gold::kRopSignatureIndex; }
+
+  std::size_t num_nodes() const { return num_nodes_; }
+
+ private:
+  std::size_t num_nodes_;
+};
+
+}  // namespace dmn::domino

@@ -1,0 +1,52 @@
+#include "dsp/channel.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace dmn::dsp {
+
+void add_awgn(std::vector<Cplx>& x, double noise_power, Rng& rng) {
+  if (noise_power <= 0.0) return;
+  const double sigma = std::sqrt(noise_power / 2.0);
+  for (Cplx& c : x) {
+    c += Cplx(rng.normal(0.0, sigma), rng.normal(0.0, sigma));
+  }
+}
+
+void apply_frequency_offset(std::vector<Cplx>& x, double offset_subcarriers,
+                            std::size_t fft_size) {
+  if (offset_subcarriers == 0.0) return;
+  const double step = 2.0 * std::numbers::pi * offset_subcarriers /
+                      static_cast<double>(fft_size);
+  for (std::size_t n = 0; n < x.size(); ++n) {
+    const double phase = step * static_cast<double>(n);
+    x[n] *= Cplx(std::cos(phase), std::sin(phase));
+  }
+}
+
+void scale_to_power(std::vector<Cplx>& x, double target_power) {
+  const double p = mean_power(x);
+  if (p <= 0.0) return;
+  const double factor = std::sqrt(target_power / p);
+  scale_amplitude(x, factor);
+}
+
+void scale_amplitude(std::vector<Cplx>& x, double factor) {
+  for (Cplx& c : x) c *= factor;
+}
+
+void clip(std::vector<Cplx>& x, double limit) {
+  for (Cplx& c : x) {
+    c = Cplx(std::clamp(c.real(), -limit, limit),
+             std::clamp(c.imag(), -limit, limit));
+  }
+}
+
+std::vector<Cplx> delay_samples(std::span<const Cplx> x, std::size_t delay) {
+  std::vector<Cplx> out(x.size(), Cplx(0.0, 0.0));
+  for (std::size_t i = delay; i < x.size(); ++i) out[i] = x[i - delay];
+  return out;
+}
+
+}  // namespace dmn::dsp

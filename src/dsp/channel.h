@@ -1,0 +1,41 @@
+#pragma once
+// Baseband channel impairments used by the signal-level experiments:
+// AWGN, carrier-frequency offset, sample-timing offset, amplitude scaling,
+// and ADC clipping (saturation).
+//
+// These are the impairments §3.1 of the paper identifies as the practical
+// obstacles to ROP: frequency offset breaking subcarrier orthogonality,
+// imperfect client synchronization, and limited ADC resolution.
+
+#include <span>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "util/rng.h"
+
+namespace dmn::dsp {
+
+/// Adds complex AWGN with total noise power `noise_power` (variance split
+/// evenly between I and Q) to `x`.
+void add_awgn(std::vector<Cplx>& x, double noise_power, Rng& rng);
+
+/// Applies a carrier frequency offset of `offset_subcarriers` (fraction of
+/// one subcarrier spacing) across `fft_size`-sample symbols.
+/// x[n] *= exp(j*2*pi*offset*n/fft_size).
+void apply_frequency_offset(std::vector<Cplx>& x, double offset_subcarriers,
+                            std::size_t fft_size);
+
+/// Scales the signal so its mean power becomes `target_power`.
+void scale_to_power(std::vector<Cplx>& x, double target_power);
+
+/// Multiplies by a linear amplitude factor.
+void scale_amplitude(std::vector<Cplx>& x, double factor);
+
+/// Clips I and Q independently to [-limit, limit] — an ideal ADC with
+/// full-scale `limit` and unbounded resolution below it.
+void clip(std::vector<Cplx>& x, double limit);
+
+/// Integer-sample delay (prepends zeros, keeps length by truncating tail).
+std::vector<Cplx> delay_samples(std::span<const Cplx> x, std::size_t delay);
+
+}  // namespace dmn::dsp

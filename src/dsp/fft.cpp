@@ -1,0 +1,72 @@
+#include "dsp/fft.h"
+
+#include <cassert>
+#include <cmath>
+#include <numbers>
+
+namespace dmn::dsp {
+namespace {
+
+void transform(std::vector<Cplx>& x, bool inverse) {
+  const std::size_t n = x.size();
+  assert(is_pow2(n));
+  if (n <= 1) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang =
+        2.0 * std::numbers::pi / static_cast<double>(len) * (inverse ? 1 : -1);
+    const Cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      Cplx w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const Cplx u = x[i + k];
+        const Cplx v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    const double inv = 1.0 / static_cast<double>(n);
+    for (Cplx& c : x) c *= inv;
+  }
+}
+
+}  // namespace
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft(std::vector<Cplx>& x) { transform(x, /*inverse=*/false); }
+
+void ifft(std::vector<Cplx>& x) { transform(x, /*inverse=*/true); }
+
+std::vector<Cplx> fft_copy(std::span<const Cplx> x) {
+  std::vector<Cplx> out(x.begin(), x.end());
+  fft(out);
+  return out;
+}
+
+std::vector<Cplx> ifft_copy(std::span<const Cplx> x) {
+  std::vector<Cplx> out(x.begin(), x.end());
+  ifft(out);
+  return out;
+}
+
+double mean_power(std::span<const Cplx> x) {
+  if (x.empty()) return 0.0;
+  double acc = 0.0;
+  for (const Cplx& c : x) acc += std::norm(c);
+  return acc / static_cast<double>(x.size());
+}
+
+}  // namespace dmn::dsp

@@ -1,0 +1,31 @@
+#pragma once
+// Radix-2 iterative FFT/IFFT for power-of-two sizes.
+//
+// Used by the ROP signal-level simulation (256-point symbols) and by the
+// Gold-code correlator benches. Double precision; no external dependencies.
+
+#include <complex>
+#include <span>
+#include <vector>
+
+namespace dmn::dsp {
+
+using Cplx = std::complex<double>;
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+/// In-place forward FFT. `x.size()` must be a power of two.
+void fft(std::vector<Cplx>& x);
+
+/// In-place inverse FFT (normalized by 1/N).
+void ifft(std::vector<Cplx>& x);
+
+/// Out-of-place convenience wrappers.
+std::vector<Cplx> fft_copy(std::span<const Cplx> x);
+std::vector<Cplx> ifft_copy(std::span<const Cplx> x);
+
+/// Mean squared magnitude of a sample vector (average power).
+double mean_power(std::span<const Cplx> x);
+
+}  // namespace dmn::dsp

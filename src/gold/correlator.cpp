@@ -1,0 +1,93 @@
+#include "gold/correlator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/channel.h"
+
+namespace dmn::gold {
+
+std::vector<dsp::Cplx> combine_signatures(
+    const GoldCodeSet& set, std::span<const std::size_t> code_indices) {
+  std::vector<dsp::Cplx> out(set.length(), dsp::Cplx(0.0, 0.0));
+  for (std::size_t idx : code_indices) {
+    const auto chips = set.code(idx);
+    for (std::size_t n = 0; n < chips.size(); ++n) {
+      out[n] += dsp::Cplx(static_cast<double>(chips[n]), 0.0);
+    }
+  }
+  return out;
+}
+
+DetectionResult Correlator::detect(std::span<const dsp::Cplx> rx,
+                                   std::size_t code_index) const {
+  const auto chips = set_.code(code_index);
+  const std::size_t len = chips.size();
+  DetectionResult result;
+  if (rx.size() < len) return result;
+
+  const std::size_t lags = std::min(max_lag_ + 1, rx.size() - len + 1);
+  std::vector<double> mags(lags);
+  for (std::size_t lag = 0; lag < lags; ++lag) {
+    dsp::Cplx acc(0.0, 0.0);
+    for (std::size_t n = 0; n < len; ++n) {
+      acc += rx[lag + n] * static_cast<double>(chips[n]);
+    }
+    mags[lag] = std::abs(acc) / static_cast<double>(len);
+  }
+
+  const auto peak_it = std::max_element(mags.begin(), mags.end());
+  result.peak_metric = *peak_it;
+  result.lag = static_cast<std::size_t>(peak_it - mags.begin());
+
+  // CFAR floor: median of off-peak magnitudes. With few lags available we
+  // fall back to the mean of the non-peak values.
+  std::vector<double> rest;
+  rest.reserve(mags.size());
+  for (std::size_t i = 0; i < mags.size(); ++i) {
+    if (i != result.lag) rest.push_back(mags[i]);
+  }
+  if (rest.empty()) {
+    // Degenerate single-lag case: compare against the per-chip RMS of rx,
+    // which is what a hardware energy estimator would report.
+    double rms = std::sqrt(dsp::mean_power(rx.subspan(0, len)));
+    result.floor_metric = rms / std::sqrt(static_cast<double>(len));
+  } else {
+    std::nth_element(rest.begin(), rest.begin() + rest.size() / 2, rest.end());
+    result.floor_metric = rest[rest.size() / 2];
+  }
+
+  // Two-part decision, mirroring a hardware correlator front-end:
+  //  * CFAR: the peak must stand clear of the off-peak correlation floor;
+  //  * energy reference: a genuine signature contributes ~unit correlation
+  //    per transmitted code, while Gold cross-correlation peaks stay below
+  //    t(m)/N ~ 0.13 of an amplitude unit. Referencing the threshold to the
+  //    received RMS rejects those — and makes detection degrade gracefully
+  //    as more signatures share the burst (the Figure 9 rolloff).
+  const double rms = std::sqrt(dsp::mean_power(rx.subspan(0, len)));
+  result.detected =
+      result.peak_metric >
+          cfar_factor_ * std::max(result.floor_metric, 1e-12) &&
+      result.peak_metric > 0.25 * rms;
+  return result;
+}
+
+std::vector<dsp::Cplx> synthesize_burst(const GoldCodeSet& set,
+                                        std::span<const BurstSender> senders,
+                                        double noise_power, std::size_t pad,
+                                        Rng& rng) {
+  std::vector<dsp::Cplx> rx(set.length() + pad, dsp::Cplx(0.0, 0.0));
+  for (const BurstSender& s : senders) {
+    const auto burst = combine_signatures(set, s.codes);
+    const dsp::Cplx rot =
+        s.amplitude * dsp::Cplx(std::cos(s.phase_rad), std::sin(s.phase_rad));
+    for (std::size_t n = 0; n < burst.size(); ++n) {
+      const std::size_t at = n + s.chip_offset;
+      if (at < rx.size()) rx[at] += burst[n] * rot;
+    }
+  }
+  dsp::add_awgn(rx, noise_power, rng);
+  return rx;
+}
+
+}  // namespace dmn::gold

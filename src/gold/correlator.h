@@ -1,0 +1,72 @@
+#pragma once
+// Chip-level signature modulation and correlation detection.
+//
+// Reproduces the paper's USRP signature study (Figure 9): each triggering
+// node broadcasts the *sum* of up to four Gold-code signatures as one BPSK
+// burst; a prospective next transmitter runs a correlator for its own
+// signature and fires when it detects it. Detection must survive other
+// triggering nodes transmitting concurrently with unknown phase and a few
+// chips of timing skew.
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "gold/gold_code.h"
+#include "util/rng.h"
+
+namespace dmn::gold {
+
+/// Baseband samples (1 sample per chip) for the sum of the given codes.
+/// Matches the protocol's combined trigger: when one node must trigger
+/// several next transmitters it adds their signature samples (§3.2).
+std::vector<dsp::Cplx> combine_signatures(
+    const GoldCodeSet& set, std::span<const std::size_t> code_indices);
+
+struct DetectionResult {
+  bool detected = false;
+  double peak_metric = 0.0;   // peak |correlation| normalized by code length
+  double floor_metric = 0.0;  // CFAR noise-floor estimate
+  std::size_t lag = 0;        // lag of the peak
+};
+
+/// Sliding correlator with a CFAR (constant false-alarm rate) threshold:
+/// the peak must exceed `cfar_factor` times the median off-peak correlation
+/// magnitude. This is self-calibrating — the receiver needs no knowledge of
+/// absolute signal amplitude, exactly like a hardware correlator front-end.
+class Correlator {
+ public:
+  explicit Correlator(const GoldCodeSet& set, double cfar_factor = 4.0,
+                      std::size_t max_lag = 16)
+      : set_(set), cfar_factor_(cfar_factor), max_lag_(max_lag) {}
+
+  /// Looks for code `code_index` inside `rx` (rx.size() >= code length +
+  /// max_lag for full search).
+  DetectionResult detect(std::span<const dsp::Cplx> rx,
+                         std::size_t code_index) const;
+
+ private:
+  const GoldCodeSet& set_;
+  double cfar_factor_;
+  std::size_t max_lag_;
+};
+
+/// One sender in a trigger-burst experiment.
+struct BurstSender {
+  std::vector<std::size_t> codes;  // signatures this sender combines
+  double amplitude = 1.0;          // linear amplitude at the receiver
+  std::size_t chip_offset = 0;     // timing skew in chips
+  double phase_rad = 0.0;          // carrier phase at the receiver
+};
+
+/// Synthesizes the received burst: sum over senders of (combined signatures
+/// * amplitude * e^{j phase}, delayed by chip_offset) + AWGN of power
+/// `noise_power`. Output length = code length + pad.
+std::vector<dsp::Cplx> synthesize_burst(const GoldCodeSet& set,
+                                        std::span<const BurstSender> senders,
+                                        double noise_power, std::size_t pad,
+                                        Rng& rng);
+
+}  // namespace dmn::gold

@@ -1,0 +1,79 @@
+#include "gold/gold_code.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "gold/lfsr.h"
+#include "util/time.h"
+
+namespace dmn::gold {
+namespace {
+
+Chips to_chips(const std::vector<int>& bits) {
+  Chips c(bits.size());
+  for (std::size_t i = 0; i < bits.size(); ++i) {
+    c[i] = bits[i] ? std::int8_t{-1} : std::int8_t{1};  // BPSK: 0 -> +1, 1 -> -1
+  }
+  return c;
+}
+
+}  // namespace
+
+GoldCodeSet::GoldCodeSet(int degree) : degree_(degree) {
+  const PreferredPair pair = preferred_pair(degree);
+  const std::vector<int> u = m_sequence(degree, pair.taps_u);
+  const std::vector<int> v = m_sequence(degree, pair.taps_v);
+  length_ = u.size();
+
+  codes_.reserve(length_ + 2);
+  codes_.push_back(to_chips(u));
+  codes_.push_back(to_chips(v));
+  for (std::size_t k = 0; k < length_; ++k) {
+    std::vector<int> w(length_);
+    for (std::size_t n = 0; n < length_; ++n) {
+      w[n] = u[n] ^ v[(n + k) % length_];
+    }
+    codes_.push_back(to_chips(w));
+  }
+}
+
+std::span<const std::int8_t> GoldCodeSet::code(std::size_t i) const {
+  if (i >= codes_.size()) throw std::out_of_range("GoldCodeSet::code");
+  return codes_[i];
+}
+
+int GoldCodeSet::t_bound() const {
+  if (degree_ % 2 == 1) {
+    return (1 << ((degree_ + 1) / 2)) + 1;
+  }
+  // Even degree not divisible by 4: t(m) = 2^((m+2)/2) + 1.
+  return (1 << ((degree_ + 2) / 2)) + 1;
+}
+
+std::int64_t GoldCodeSet::duration_ns(double bandwidth_hz) const {
+  return static_cast<std::int64_t>(
+      std::llround(static_cast<double>(length_) / bandwidth_hz * 1e9));
+}
+
+int GoldCodeSet::xcorr(std::size_t i, std::size_t j, std::size_t shift) const {
+  const Chips& a = codes_.at(i);
+  const Chips& b = codes_.at(j);
+  int acc = 0;
+  for (std::size_t n = 0; n < length_; ++n) {
+    acc += static_cast<int>(a[n]) * static_cast<int>(b[(n + shift) % length_]);
+  }
+  return acc;
+}
+
+int GoldCodeSet::max_abs_xcorr(std::size_t i, std::size_t j) const {
+  int best = 0;
+  for (std::size_t s = 0; s < length_; ++s) {
+    best = std::max(best, std::abs(xcorr(i, j, s)));
+  }
+  return best;
+}
+
+}  // namespace dmn::gold

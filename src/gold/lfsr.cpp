@@ -1,0 +1,83 @@
+#include "gold/lfsr.h"
+
+#include <stdexcept>
+
+namespace dmn::gold {
+
+Lfsr::Lfsr(int degree, std::vector<int> taps)
+    : degree_(degree), taps_(std::move(taps)) {
+  if (degree < 2 || degree > 24) {
+    throw std::invalid_argument("Lfsr: degree out of range");
+  }
+  for (int t : taps_) {
+    if (t < 1 || t > degree) {
+      throw std::invalid_argument("Lfsr: tap out of range");
+    }
+  }
+  hist_.assign(static_cast<std::size_t>(degree), 1);  // all ones
+}
+
+int Lfsr::next_bit() {
+  int nb = 0;
+  for (int t : taps_) nb ^= hist_[static_cast<std::size_t>(t - 1)];
+  // Shift history: hist_[0] becomes the newest bit.
+  for (std::size_t k = hist_.size() - 1; k > 0; --k) hist_[k] = hist_[k - 1];
+  hist_[0] = nb;
+  return nb;
+}
+
+std::vector<int> m_sequence(int degree, const std::vector<int>& taps) {
+  const std::size_t period = (std::size_t{1} << degree) - 1;
+  Lfsr reg(degree, taps);
+  std::vector<int> seq(period);
+  for (std::size_t i = 0; i < period; ++i) seq[i] = reg.next_bit();
+
+  // Verify maximality: regenerate and check that the state cycles with the
+  // full period. A primitive polynomial visits all 2^degree - 1 non-zero
+  // states; a shorter cycle would repeat the prefix.
+  Lfsr check(degree, taps);
+  for (std::size_t i = 0; i < period; ++i) check.next_bit();
+  // After one full period the output must repeat exactly.
+  Lfsr again(degree, taps);
+  std::vector<int> second(period);
+  for (std::size_t i = 0; i < period; ++i) again.next_bit();
+  for (std::size_t i = 0; i < period; ++i) second[i] = again.next_bit();
+  if (second != seq) {
+    throw std::invalid_argument("m_sequence: polynomial is not primitive");
+  }
+  return seq;
+}
+
+PreferredPair preferred_pair(int degree) {
+  switch (degree) {
+    case 5:
+      return {{5, 2}, {5, 4, 3, 2}};
+    case 6:
+      return {{6, 1}, {6, 5, 2, 1}};
+    case 7:
+      return {{7, 3}, {7, 3, 2, 1}};
+    case 9:
+      return {{9, 4}, {9, 6, 4, 3}};
+    case 10:
+      return {{10, 3}, {10, 8, 3, 2}};
+    default:
+      throw std::invalid_argument(
+          "preferred_pair: no preferred pair for this degree "
+          "(degrees divisible by 4 have none)");
+  }
+}
+
+bool has_preferred_pair(int degree) {
+  switch (degree) {
+    case 5:
+    case 6:
+    case 7:
+    case 9:
+    case 10:
+      return true;
+    default:
+      return false;
+  }
+}
+
+}  // namespace dmn::gold

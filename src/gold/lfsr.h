@@ -1,0 +1,50 @@
+#pragma once
+// Fibonacci LFSRs and maximal-length (m-) sequences.
+//
+// Gold codes (used as DOMINO node signatures, §3.2) are built from XORs of a
+// "preferred pair" of m-sequences. This module generates m-sequences for the
+// degrees with known preferred pairs.
+
+#include <cstdint>
+#include <vector>
+
+namespace dmn::gold {
+
+/// A Fibonacci LFSR over GF(2), expressed as the direct linear recurrence
+///   b_n = XOR over taps t of b_{n-t},
+/// so `taps` = {7, 3} realizes x^7 + x^3 + 1 unambiguously. The history
+/// starts all-ones.
+class Lfsr {
+ public:
+  Lfsr(int degree, std::vector<int> taps);
+
+  /// Advances one step and returns the output bit (0/1).
+  int next_bit();
+
+  int degree() const { return degree_; }
+
+ private:
+  int degree_;
+  std::vector<int> taps_;
+  std::vector<int> hist_;  // hist_[k] = b_{n-1-k}
+};
+
+/// Generates one period (2^degree - 1 bits) of the m-sequence defined by
+/// `taps`. Throws std::invalid_argument if the polynomial is not primitive
+/// (detected by a short period).
+std::vector<int> m_sequence(int degree, const std::vector<int>& taps);
+
+/// Preferred pair of primitive polynomials for Gold construction.
+/// Supported degrees: 5, 6, 7, 9, 10. Degree 7 gives the paper's length-127
+/// set. (Degrees divisible by 4 — e.g. 8, hence length 255 — have no
+/// preferred pairs; see DESIGN.md fidelity notes.)
+struct PreferredPair {
+  std::vector<int> taps_u;
+  std::vector<int> taps_v;
+};
+PreferredPair preferred_pair(int degree);
+
+/// True if a preferred pair is available for this degree.
+bool has_preferred_pair(int degree);
+
+}  // namespace dmn::gold

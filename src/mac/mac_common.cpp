@@ -1,0 +1,4 @@
+#include "mac/mac_common.h"
+
+// Interface definitions only; this TU anchors the module in the archive.
+namespace dmn::mac {}

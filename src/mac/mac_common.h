@@ -1,0 +1,56 @@
+#pragma once
+// Shared 802.11g MAC parameters and the MAC-entity/delivery interfaces all
+// schemes (DCF, CENTAUR, Omniscient, DOMINO) implement.
+
+#include <functional>
+
+#include "phy/transceiver.h"
+#include "traffic/packet.h"
+#include "util/time.h"
+
+namespace dmn::mac {
+
+struct WifiParams {
+  TimeNs slot_time = usec(9);
+  TimeNs sifs = usec(10);
+  int cw_min = 15;
+  int cw_max = 1023;
+  int retry_limit = 7;
+  double data_rate_bps = 12e6;     // paper §4.2.1
+  double control_rate_bps = 6e6;   // ACKs / polls at the base rate
+  std::size_t mac_header_bytes = 28;  // header + FCS
+  std::size_t ack_bytes = 14;
+  std::size_t queue_capacity = 100;
+
+  TimeNs difs() const { return sifs + 2 * slot_time; }
+
+  /// Airtime of a data frame carrying `payload_bytes`.
+  TimeNs data_airtime(std::size_t payload_bytes) const {
+    return phy::frame_airtime(payload_bytes + mac_header_bytes,
+                              data_rate_bps);
+  }
+  TimeNs ack_airtime() const {
+    return phy::frame_airtime(ack_bytes, control_rate_bps);
+  }
+  /// Sender-side wait for the ACK after its data frame ends.
+  TimeNs ack_timeout() const { return sifs + ack_airtime() + slot_time; }
+  /// Extended IFS after an undecodable frame.
+  TimeNs eifs() const { return sifs + ack_airtime() + difs(); }
+};
+
+/// Called when a data packet is decoded at its MAC destination.
+using DeliveryFn =
+    std::function<void(const traffic::Packet&, topo::NodeId at, TimeNs now)>;
+
+/// Per-node MAC entity: the traffic layer enqueues into it.
+class MacEntity {
+ public:
+  virtual ~MacEntity() = default;
+
+  /// Accepts a packet for transmission; false when the queue dropped it.
+  virtual bool enqueue(traffic::Packet p) = 0;
+
+  virtual std::size_t queue_size() const = 0;
+};
+
+}  // namespace dmn::mac

@@ -1,0 +1,17 @@
+#include "phy/frame.h"
+
+namespace dmn::phy {
+
+const char* to_string(FrameType t) {
+  switch (t) {
+    case FrameType::kData: return "DATA";
+    case FrameType::kAck: return "ACK";
+    case FrameType::kFakeHeader: return "FAKE";
+    case FrameType::kPoll: return "POLL";
+    case FrameType::kRopResponse: return "ROP";
+    case FrameType::kSignature: return "SIG";
+  }
+  return "?";
+}
+
+}  // namespace dmn::phy

@@ -1,0 +1,113 @@
+#pragma once
+// The shared wireless medium: SINR-based reception with full interference
+// tracking, carrier-sense notifications, and half-duplex enforcement.
+//
+// Model (ns-3 Yans-class fidelity, which is what the paper's evaluation
+// uses):
+//  * every active transmission contributes rss(src, n) to the power seen at
+//    each node n;
+//  * a node carrier-senses busy when transmitting or when the sum of
+//    received powers exceeds the CS threshold;
+//  * a frame decodes at a node iff the node held the frame's whole duration
+//    without transmitting and min-SINR over the duration (desired power over
+//    noise + worst concurrent interference) clears the threshold for the
+//    frame class;
+//  * kRopResponse frames of a common poll do not interfere with each other
+//    (they occupy orthogonal OFDM subchannels); their subchannel-level
+//    interactions are judged by rop::RopLinkModel at the AP instead;
+//  * propagation delay is folded into slot/CP margins (<= 1 us at WLAN
+//    ranges), as in the paper.
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "phy/frame.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+
+namespace dmn::phy {
+
+struct RxInfo {
+  double rss_dbm = 0.0;
+  double min_sinr_db = 0.0;
+  /// SINR cleared the decode threshold and the receiver stayed listening.
+  bool decoded = false;
+  /// Receiver was transmitting at some point during the frame.
+  bool half_duplex_loss = false;
+};
+
+/// Implemented by MAC entities. Callbacks run inside simulator events.
+class MediumClient {
+ public:
+  virtual ~MediumClient() = default;
+
+  /// Called at frame end for every frame whose RSS reached this node's
+  /// sensitivity (decoded or not). Also called for the node's own frames
+  /// with info.decoded == false (self-rx suppressed by MACs as needed).
+  virtual void on_frame_rx(const Frame& frame, const RxInfo& info) = 0;
+
+  /// Carrier-sense transitions (edge-triggered).
+  virtual void on_cs_change(bool /*busy*/) {}
+};
+
+class Medium {
+ public:
+  Medium(sim::Simulator& sim, const topo::Topology& topo);
+
+  /// Registers the MAC entity for a node. One client per node.
+  void attach(topo::NodeId node, MediumClient* client);
+
+  /// Starts transmitting `frame` (frame.duration must be set). The frame is
+  /// delivered to listeners at now() + duration.
+  void transmit(const Frame& frame);
+
+  /// True if `node` senses the channel busy (own TX counts).
+  bool carrier_busy(topo::NodeId node) const;
+
+  /// True if `node` is currently transmitting.
+  bool transmitting(topo::NodeId node) const;
+
+  /// NAV-aware busy: carrier busy OR virtual carrier (NAV) active.
+  bool virtual_busy(topo::NodeId node) const;
+
+  const topo::Topology& topology() const { return topo_; }
+  sim::Simulator& simulator() { return sim_; }
+
+  /// Cumulative frame counts by type (diagnostics).
+  std::uint64_t frames_sent(FrameType t) const;
+
+ private:
+  struct ActiveTx;
+  struct RxAttempt {
+    topo::NodeId node;
+    double rss_mw;
+    double max_intf_mw;       // worst concurrent interference seen
+    bool half_duplex_loss;
+  };
+  struct ActiveTx {
+    Frame frame;
+    TimeNs start;
+    TimeNs end;
+    std::vector<RxAttempt> rx;
+  };
+
+  void on_tx_end(std::shared_ptr<ActiveTx> tx);
+  /// Recomputes interference for all in-flight receptions and CS states.
+  void refresh_interference_and_cs();
+  double rx_power_sum_mw(topo::NodeId node) const;
+  double interference_at(topo::NodeId node, const ActiveTx& victim) const;
+  double decode_threshold_db(FrameType t) const;
+  bool rop_orthogonal(const Frame& a, const Frame& b) const;
+
+  sim::Simulator& sim_;
+  const topo::Topology& topo_;
+  std::vector<MediumClient*> clients_;
+  std::vector<std::shared_ptr<ActiveTx>> active_;
+  std::vector<bool> cs_busy_;
+  std::vector<TimeNs> nav_until_;
+  std::map<FrameType, std::uint64_t> sent_;
+};
+
+}  // namespace dmn::phy

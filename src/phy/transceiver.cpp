@@ -1,0 +1,16 @@
+#include "phy/transceiver.h"
+
+#include <cmath>
+
+namespace dmn::phy {
+
+TimeNs frame_airtime(std::size_t bytes, double rate_bps) {
+  constexpr double kPlcpUs = 20.0;       // preamble + PLCP header
+  constexpr double kSymbolUs = 4.0;      // OFDM symbol
+  const double bits_per_symbol = rate_bps * kSymbolUs * 1e-6;
+  const double payload_bits = 16.0 + 8.0 * static_cast<double>(bytes) + 6.0;
+  const double symbols = std::ceil(payload_bits / bits_per_symbol);
+  return usec(kPlcpUs + symbols * kSymbolUs);
+}
+
+}  // namespace dmn::phy

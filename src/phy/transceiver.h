@@ -1,0 +1,41 @@
+#pragma once
+// Per-node radio handle: a thin facade over the Medium that a MAC entity
+// owns. Keeps the MAC code free of node-id bookkeeping and centralizes the
+// 802.11g OFDM airtime arithmetic.
+
+#include "phy/frame.h"
+#include "phy/medium.h"
+
+namespace dmn::phy {
+
+/// 802.11g OFDM airtime: 20 us PLCP preamble+header, then
+/// ceil((16 service + 8*bytes + 6 tail) / bits-per-symbol) 4 us symbols.
+TimeNs frame_airtime(std::size_t bytes, double rate_bps);
+
+class Transceiver {
+ public:
+  Transceiver(Medium& medium, topo::NodeId node, MediumClient* client)
+      : medium_(medium), node_(node) {
+    medium_.attach(node, client);
+  }
+
+  topo::NodeId node() const { return node_; }
+
+  /// Fills src and transmits.
+  void send(Frame frame) {
+    frame.src = node_;
+    medium_.transmit(frame);
+  }
+
+  bool carrier_busy() const { return medium_.carrier_busy(node_); }
+  bool virtual_busy() const { return medium_.virtual_busy(node_); }
+  bool transmitting() const { return medium_.transmitting(node_); }
+
+  Medium& medium() { return medium_; }
+
+ private:
+  Medium& medium_;
+  topo::NodeId node_;
+};
+
+}  // namespace dmn::phy

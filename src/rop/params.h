@@ -1,0 +1,52 @@
+#pragma once
+// ROP (Rapid OFDM Polling) symbol parameters — Table 1 of the paper.
+//
+// One special control OFDM symbol carries the queue length of every client
+// of an AP at once: the 20 MHz channel is split into 256 subcarriers and 24
+// subchannels of 6 data + 3 guard subcarriers; clients signal with 2-ASK so
+// that (unestimable) phase offset does not matter.
+
+#include <cstddef>
+
+#include "util/time.h"
+
+namespace dmn::rop {
+
+struct RopParams {
+  std::size_t fft_size = 256;           // subcarriers (vs 64 in plain WiFi)
+  std::size_t data_per_subchannel = 6;  // -> queue sizes 0..63
+  std::size_t guard_per_subchannel = 3; // tolerates ~38 dB RSS mismatch
+  std::size_t num_subchannels = 24;     // clients pollable per symbol
+  double bandwidth_hz = 20e6;
+
+  /// Cyclic prefix: 3.2 us at 20 MHz = 64 samples; sized for a 300 m
+  /// turnaround propagation delay (2 us) plus sync slack.
+  std::size_t cp_samples = 64;
+
+  std::size_t bits_per_client() const { return data_per_subchannel; }
+  std::size_t max_queue_report() const {
+    return (std::size_t{1} << data_per_subchannel) - 1;  // 63
+  }
+  std::size_t block_size() const {
+    return data_per_subchannel + guard_per_subchannel;
+  }
+  std::size_t symbol_samples() const { return fft_size + cp_samples; }
+
+  /// 16 us symbol + 3.2 us CP is included in symbol_samples already;
+  /// total symbol duration = (256 + 64) / 20 MHz = 16 us.
+  TimeNs symbol_duration() const {
+    return static_cast<TimeNs>(static_cast<double>(symbol_samples()) /
+                               bandwidth_hz * 1e9);
+  }
+};
+
+/// SNR (dB) below which an ROP symbol cannot be decoded — matches the
+/// paper's USRP measurement ("as long as the SNR is higher than 4 dB") and
+/// the 6 Mbps WiFi decode threshold it cites.
+inline constexpr double kRopMinSnrDb = 4.0;
+
+/// RSS mismatch (dB) tolerated between adjacent subchannels with the default
+/// 3 guard subcarriers (paper §3.1; our Fig-6 reproduction re-derives it).
+inline constexpr double kRopRssToleranceDb = 38.0;
+
+}  // namespace dmn::rop

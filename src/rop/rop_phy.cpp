@@ -1,0 +1,137 @@
+#include "rop/rop_phy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dsp/channel.h"
+#include "util/units.h"
+
+namespace dmn::rop {
+
+double RopPhy::on_bin_amplitude(double rss_dbm) const {
+  // rss_dbm is the client's nominal received power with all data bins on;
+  // each of the `data_per_subchannel` bins carries an equal share. With our
+  // unnormalized forward FFT, a frequency-domain amplitude `a` placed before
+  // the (1/N-scaled) IFFT contributes mean time-domain power a^2 / N^2 * N
+  // ... we keep it simple and exact: a single bin of amplitude a yields time
+  // samples of magnitude a/N, i.e. mean power (a/N)^2. Setting per-bin
+  // power P/k: a = N * sqrt(P/k).
+  const double p_mw = dbm_to_mw(rss_dbm);
+  const double per_bin =
+      p_mw / static_cast<double>(params_.data_per_subchannel);
+  return static_cast<double>(params_.fft_size) * std::sqrt(per_bin);
+}
+
+std::vector<dsp::Cplx> RopPhy::synthesize(
+    std::span<const ClientSignal> clients, const RopImpairments& imp,
+    Rng& rng) const {
+  const std::size_t n = params_.fft_size;
+  const std::size_t total = params_.symbol_samples();
+  std::vector<dsp::Cplx> rx(total, dsp::Cplx(0.0, 0.0));
+
+  for (const ClientSignal& cs : clients) {
+    // Frequency-domain symbol: 2-ASK (on/off) on the client's data bins.
+    std::vector<dsp::Cplx> freq(n, dsp::Cplx(0.0, 0.0));
+    const double amp = on_bin_amplitude(cs.rss_dbm);
+    const auto& bins = map_.data_bins(cs.subchannel);
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if ((cs.queue_report >> b) & 1u) {
+        freq[bins[b]] = dsp::Cplx(amp, 0.0);
+      }
+    }
+    std::vector<dsp::Cplx> time = dsp::ifft_copy(freq);
+
+    // Prepend the cyclic prefix.
+    std::vector<dsp::Cplx> sym;
+    sym.reserve(total);
+    sym.insert(sym.end(), time.end() - static_cast<std::ptrdiff_t>(
+                                           params_.cp_samples),
+               time.end());
+    sym.insert(sym.end(), time.begin(), time.end());
+
+    // Per-transmitter wideband implementation floor, proportional to the
+    // client's own signal power.
+    const double sig_power = dsp::mean_power(sym);
+    if (sig_power > 0.0 && imp.tx_floor_db < 0.0) {
+      dsp::add_awgn(sym, sig_power * db_to_ratio(imp.tx_floor_db), rng);
+    }
+
+    // Residual CFO breaks orthogonality -> inter-subcarrier leakage.
+    dsp::apply_frequency_offset(sym, cs.freq_offset_subcarriers, n);
+
+    // Timing skew within the CP: clients start at slightly different times.
+    for (std::size_t i = 0; i < sym.size(); ++i) {
+      const std::size_t at = i + cs.timing_offset_samples;
+      if (at < rx.size()) rx[at] += sym[i];
+    }
+  }
+
+  // Receiver AWGN.
+  dsp::add_awgn(rx, dbm_to_mw(imp.noise_floor_dbm), rng);
+
+  // ADC saturation: clip I/Q at the full-scale amplitude.
+  const double clip_amp = std::sqrt(dbm_to_mw(imp.adc_fullscale_dbm));
+  dsp::clip(rx, clip_amp);
+  return rx;
+}
+
+RopDecodeResult RopPhy::decode(std::span<const dsp::Cplx> rx,
+                               const RopImpairments& imp) const {
+  const std::size_t n = params_.fft_size;
+  RopDecodeResult out;
+  out.values.assign(params_.num_subchannels, std::nullopt);
+  out.bin_magnitude.assign(n, 0.0);
+  if (rx.size() < params_.symbol_samples()) return out;
+
+  // FFT window starts right after the CP — by construction every client's
+  // symbol (timing offset <= CP) fully covers this window.
+  std::vector<dsp::Cplx> win(rx.begin() + static_cast<std::ptrdiff_t>(
+                                              params_.cp_samples),
+                             rx.begin() + static_cast<std::ptrdiff_t>(
+                                              params_.symbol_samples()));
+  dsp::fft(win);
+  for (std::size_t k = 0; k < n; ++k) out.bin_magnitude[k] = std::abs(win[k]);
+
+  // Per-bin noise RMS after an unnormalized N-point FFT of noise with time
+  // power Pn is sqrt(N * Pn).
+  out.noise_rms_bin = std::sqrt(static_cast<double>(n) *
+                                dbm_to_mw(imp.noise_floor_dbm));
+
+  // Presence gate: strongest data bin must clear the noise by the ROP
+  // minimum SNR (4 dB) plus the 2-ASK decision margin.
+  const double gate =
+      out.noise_rms_bin * std::sqrt(db_to_ratio(kRopMinSnrDb)) * 2.0;
+
+  for (std::size_t sc = 0; sc < params_.num_subchannels; ++sc) {
+    const auto& bins = map_.data_bins(sc);
+    double level = 0.0;
+    for (std::size_t b : bins) level = std::max(level, out.bin_magnitude[b]);
+    if (level < gate) continue;  // silent subchannel
+    unsigned value = 0;
+    for (std::size_t b = 0; b < bins.size(); ++b) {
+      if (out.bin_magnitude[bins[b]] > level / 2.0) {
+        value |= (1u << b);
+      }
+    }
+    out.values[sc] = value;
+  }
+  return out;
+}
+
+bool RopPhy::round_trip_ok(std::span<const ClientSignal> clients,
+                           const RopImpairments& imp, Rng& rng) const {
+  const auto rx = synthesize(clients, imp, rng);
+  const auto decoded = decode(rx, imp);
+  for (const ClientSignal& cs : clients) {
+    const auto& got = decoded.values[cs.subchannel];
+    if (cs.queue_report == 0) {
+      // All-off is legitimately indistinguishable from silence.
+      if (got.has_value() && *got != 0) return false;
+    } else {
+      if (!got.has_value() || *got != cs.queue_report) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace dmn::rop

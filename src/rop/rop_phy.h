@@ -1,0 +1,91 @@
+#pragma once
+// Signal-level simulation of the ROP control symbol.
+//
+// Stands in for the paper's GNURadio/USRP testbed (Figures 5 and 6): each
+// client synthesizes one 2-ASK OFDM symbol on its assigned subchannel; the
+// AP receives the superposition with per-client RSS, residual carrier
+// frequency offset (which breaks subcarrier orthogonality and produces the
+// inter-subchannel leakage the guard subcarriers fight), timing skew inside
+// the long cyclic prefix, a per-transmitter wideband implementation floor
+// (phase noise / DAC quantization / spectral regrowth), receiver AWGN, and
+// ADC saturation.
+
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "rop/params.h"
+#include "rop/subchannel_map.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace dmn::rop {
+
+/// One client's contribution to the polling response symbol.
+struct ClientSignal {
+  std::size_t subchannel = 0;
+  unsigned queue_report = 0;  // 0..max_queue_report(), LSB on data bin 0
+  double rss_dbm = -50.0;     // received power at the AP (all-bits-on basis)
+  double freq_offset_subcarriers = 0.0;  // residual CFO after the preamble
+  std::size_t timing_offset_samples = 0; // must stay within the CP
+};
+
+struct RopImpairments {
+  double noise_floor_dbm = kNoiseFloorDbm;
+  /// Per-transmitter wideband noise floor relative to that transmitter's
+  /// signal power (dB). Models the hardware floor that ultimately caps RSS
+  /// mismatch tolerance for USRP-class radios.
+  double tx_floor_db = -52.0;
+  /// ADC full-scale input (dBm). Signals summing above this clip.
+  double adc_fullscale_dbm = -10.0;
+  /// Std-dev of residual CFO (fraction of subcarrier spacing) after the
+  /// polling preamble's frequency correction. Calibrated so that, with the
+  /// coherent six-tone leakage sum, 3 guard subcarriers tolerate ~38 dB of
+  /// RSS mismatch (the paper's Figure 6 design point).
+  double cfo_sigma_subcarriers = 0.01;
+};
+
+/// Decoded output of one AP-side FFT.
+struct RopDecodeResult {
+  /// Per-subchannel decoded queue report; nullopt when the subchannel was
+  /// judged silent (no energy above the noise gate).
+  std::vector<std::optional<unsigned>> values;
+  /// |X_k| for every FFT bin — used by the Figure 5 sample plots.
+  std::vector<double> bin_magnitude;
+  /// Per-bin noise RMS estimate the detector used.
+  double noise_rms_bin = 0.0;
+};
+
+class RopPhy {
+ public:
+  explicit RopPhy(const RopParams& params)
+      : params_(params), map_(params) {}
+
+  const RopParams& params() const { return params_; }
+  const SubchannelMap& map() const { return map_; }
+
+  /// Synthesizes the received time-domain symbol (CP included) at the AP.
+  std::vector<dsp::Cplx> synthesize(std::span<const ClientSignal> clients,
+                                    const RopImpairments& imp, Rng& rng) const;
+
+  /// Decodes an AP-side capture produced by synthesize().
+  RopDecodeResult decode(std::span<const dsp::Cplx> rx,
+                         const RopImpairments& imp) const;
+
+  /// Convenience: synthesize + decode, returning whether every client's
+  /// report decoded exactly.
+  bool round_trip_ok(std::span<const ClientSignal> clients,
+                     const RopImpairments& imp, Rng& rng) const;
+
+ private:
+  /// Per-data-bin "on" amplitude in the frequency domain for a client whose
+  /// all-bits-on symbol would arrive at `rss_dbm`.
+  double on_bin_amplitude(double rss_dbm) const;
+
+  RopParams params_;
+  SubchannelMap map_;
+};
+
+}  // namespace dmn::rop

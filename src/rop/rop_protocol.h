@@ -1,0 +1,93 @@
+#pragma once
+// Protocol-level ROP: queue-report encoding, subchannel assignment, and the
+// MAC-level success model distilled from the signal-level study.
+//
+// The MAC simulation does not run the FFT per poll; it applies the rules the
+// signal-level experiments (Figures 5/6, bench_fig05/06) establish:
+//   * a report decodes only if its SNR at the AP is >= 4 dB;
+//   * adjacent subchannels tolerate an RSS mismatch up to ~38 dB with the
+//     default 3 guard subcarriers (scaled for other guard counts);
+//   * above the tolerance the AP should have assigned non-adjacent
+//     subchannels (the allocator here does), otherwise the weaker client's
+//     report is corrupted;
+//   * external (non-ROP) interference overlapping the symbol must leave
+//     SINR >= 4 dB.
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "rop/params.h"
+#include "rop/subchannel_map.h"
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace dmn::rop {
+
+/// Encoded queue report (§3.5 "virtual packets"): values cap at 63 and the
+/// client tracks what it could not report yet.
+struct QueueReport {
+  unsigned reported = 0;      // 0..63, what goes on the air
+  std::size_t unreported = 0; // remainder the client still holds
+};
+QueueReport encode_queue(std::size_t queue_len, const RopParams& params);
+
+/// Assigns each client of an AP a subchannel. Clients are sorted by RSS so
+/// frequency-adjacent subchannels carry similar powers; when even sorted
+/// neighbours exceed the tolerance, a spare subchannel is skipped between
+/// them (possible while #clients < #subchannels).
+class SubchannelAllocator {
+ public:
+  explicit SubchannelAllocator(const RopParams& params) : params_(params) {}
+
+  struct Assignment {
+    topo::NodeId client;
+    std::size_t subchannel;
+    std::size_t round;  // poll round (>= 1 round when clients > subchannels)
+  };
+
+  /// rss_at_ap[i] is the AP-side RSS of clients[i].
+  std::vector<Assignment> assign(const std::vector<topo::NodeId>& clients,
+                                 const std::vector<double>& rss_at_ap) const;
+
+ private:
+  RopParams params_;
+};
+
+/// The MAC-level decode predicate.
+class RopLinkModel {
+ public:
+  explicit RopLinkModel(const RopParams& params)
+      : params_(params), map_(params) {}
+
+  struct CoClient {
+    std::size_t subchannel;
+    double rss_dbm;
+  };
+
+  /// Does the report of the client on `subchannel` at `rss_dbm` decode,
+  /// given the co-polled clients, receiver noise, and external interference
+  /// power (mW) overlapping the symbol?
+  bool report_decodes(std::size_t subchannel, double rss_dbm,
+                      const std::vector<CoClient>& co_clients,
+                      double noise_floor_dbm, double external_intf_mw) const;
+
+  /// RSS mismatch tolerance (dB) for a given bin distance between two
+  /// clients' nearest data subcarriers — the fitted Figure 6 law:
+  /// each extra guard bin buys ~6 dB until the transmitter hardware floor
+  /// (~42 dB usable) caps it.
+  double tolerance_db(std::size_t bin_distance) const;
+
+  const SubchannelMap& map() const { return map_; }
+
+ private:
+  RopParams params_;
+  SubchannelMap map_;
+};
+
+/// Airtime of a full ROP exchange: poll broadcast + one WiFi slot + the
+/// control OFDM symbol (+ AP processing guard).
+TimeNs rop_exchange_duration(const RopParams& params, TimeNs poll_airtime,
+                             TimeNs slot_time);
+
+}  // namespace dmn::rop

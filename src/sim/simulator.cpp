@@ -1,0 +1,47 @@
+#include "sim/simulator.h"
+
+#include <cassert>
+#include <limits>
+#include <utility>
+
+namespace dmn::sim {
+
+EventHandle Simulator::schedule_at(TimeNs at, std::function<void()> fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  auto state = std::make_shared<EventHandle::State>();
+  queue_.push(Entry{at, next_seq_++, std::move(fn), state});
+  return EventHandle(std::move(state));
+}
+
+void Simulator::cancel(EventHandle& h) {
+  if (h.state_) h.state_->cancelled = true;
+}
+
+void Simulator::run_until(TimeNs until) {
+  stopped_ = false;
+  while (!queue_.empty() && !stopped_) {
+    const Entry& top = queue_.top();
+    if (top.at > until) break;
+    // Move the entry out before popping; priority_queue::top is const.
+    Entry entry{top.at, top.seq, std::move(const_cast<Entry&>(top).fn),
+                std::move(const_cast<Entry&>(top).state)};
+    queue_.pop();
+    if (entry.state->cancelled) continue;
+    now_ = entry.at;
+    entry.state->done = true;
+    ++executed_;
+    entry.fn();
+  }
+  // Fast-forward the clock to the horizon (but not to the run()'s
+  // infinite sentinel) so callers observe "simulated until `until`".
+  if (now_ < until && queue_.empty() &&
+      until != std::numeric_limits<TimeNs>::max()) {
+    now_ = until;
+  }
+}
+
+void Simulator::run() {
+  run_until(std::numeric_limits<TimeNs>::max());
+}
+
+}  // namespace dmn::sim

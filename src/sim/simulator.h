@@ -1,0 +1,91 @@
+#pragma once
+// Discrete-event simulation kernel.
+//
+// A Simulator owns a time-ordered event queue. Events scheduled for the same
+// tick run in FIFO order of scheduling (stable), which keeps protocol state
+// machines deterministic. Cancellation is lazy: cancel() flags the event and
+// the run loop skips flagged entries.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "util/time.h"
+
+namespace dmn::sim {
+
+/// Handle to a scheduled event; may be used to cancel it.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still pending (not run, not cancelled).
+  bool pending() const { return state_ && !state_->done && !state_->cancelled; }
+
+ private:
+  friend class Simulator;
+  struct State {
+    bool cancelled = false;
+    bool done = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Current simulation time.
+  TimeNs now() const { return now_; }
+
+  /// Schedule `fn` to run at absolute time `at` (>= now()).
+  EventHandle schedule_at(TimeNs at, std::function<void()> fn);
+
+  /// Schedule `fn` to run `delay` after now().
+  EventHandle schedule_in(TimeNs delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Cancel a pending event. No-op if already run or cancelled.
+  void cancel(EventHandle& h);
+
+  /// Run until the queue drains or simulation time exceeds `until`.
+  /// Events stamped exactly at `until` still run.
+  void run_until(TimeNs until);
+
+  /// Run until the queue drains.
+  void run();
+
+  /// Request the run loop to stop after the current event.
+  void stop() { stopped_ = true; }
+
+  /// Number of events executed so far (for tests / sanity checks).
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimeNs at;
+    std::uint64_t seq;  // tie-break: FIFO within a tick
+    std::function<void()> fn;
+    std::shared_ptr<EventHandle::State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace dmn::sim

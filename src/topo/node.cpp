@@ -1,0 +1,17 @@
+#include "topo/node.h"
+
+#include <cmath>
+
+namespace dmn::topo {
+
+double distance(const Position& a, const Position& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+std::string to_string(const Link& l) {
+  return std::to_string(l.sender) + "->" + std::to_string(l.receiver);
+}
+
+}  // namespace dmn::topo

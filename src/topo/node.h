@@ -1,0 +1,41 @@
+#pragma once
+// Basic network entities: nodes, AP-client associations, directed links.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dmn::topo {
+
+using NodeId = int;
+inline constexpr NodeId kNoNode = -1;
+
+struct Position {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+double distance(const Position& a, const Position& b);
+
+struct Node {
+  NodeId id = kNoNode;
+  Position pos;
+  bool is_ap = false;
+  /// For clients: the AP they associate with; for APs: kNoNode.
+  NodeId ap = kNoNode;
+};
+
+/// A directed link. Exactly one endpoint is an AP (uplink or downlink).
+struct Link {
+  NodeId sender = kNoNode;
+  NodeId receiver = kNoNode;
+
+  bool operator==(const Link&) const = default;
+};
+
+using LinkId = int;
+inline constexpr LinkId kNoLink = -1;
+
+std::string to_string(const Link& l);
+
+}  // namespace dmn::topo

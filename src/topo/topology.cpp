@@ -1,0 +1,233 @@
+#include "topo/topology.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <tuple>
+
+namespace dmn::topo {
+
+Topology::Topology(std::vector<Node> nodes, RssMap rss,
+                   PhyThresholds thresholds)
+    : nodes_(std::move(nodes)), rss_(std::move(rss)), thresholds_(thresholds) {
+  if (rss_.size() != nodes_.size()) {
+    throw std::invalid_argument("Topology: RSS map size != node count");
+  }
+}
+
+bool Topology::can_sense(NodeId a, NodeId b) const {
+  if (a == b) return true;
+  return rss(a, b) >= thresholds_.cs_threshold_dbm;
+}
+
+bool Topology::can_communicate(NodeId a, NodeId b) const {
+  if (a == b) return false;
+  return rss(a, b) >= thresholds_.assoc_rss_dbm;
+}
+
+std::vector<NodeId> Topology::aps() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.is_ap) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::clients_of(NodeId ap) const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (!n.is_ap && n.ap == ap) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::all_clients() const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (!n.is_ap) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<NodeId> Topology::comm_neighbors(NodeId id) const {
+  std::vector<NodeId> out;
+  for (const Node& n : nodes_) {
+    if (n.id != id && can_communicate(id, n.id)) out.push_back(n.id);
+  }
+  return out;
+}
+
+std::vector<Link> Topology::make_links(bool downlink, bool uplink) const {
+  std::vector<Link> links;
+  for (const Node& n : nodes_) {
+    if (n.is_ap || n.ap == kNoNode) continue;
+    if (downlink) links.push_back(Link{n.ap, n.id});
+    if (uplink) links.push_back(Link{n.id, n.ap});
+  }
+  return links;
+}
+
+Topology Topology::build_tmn(const RssMap& trace, std::size_t m,
+                             std::size_t n, const PhyThresholds& thresholds,
+                             Rng& rng) {
+  const std::size_t total = trace.size();
+
+  // Degree in the communication graph (paper: "number of nodes in their
+  // communication range").
+  auto degree = [&](std::size_t i) {
+    std::size_t d = 0;
+    for (std::size_t j = 0; j < total; ++j) {
+      if (j != i && trace.rss(static_cast<NodeId>(i),
+                              static_cast<NodeId>(j)) >=
+                        thresholds.assoc_rss_dbm) {
+        ++d;
+      }
+    }
+    return d;
+  };
+
+  std::vector<std::size_t> order(total);
+  for (std::size_t i = 0; i < total; ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return degree(a) > degree(b);
+  });
+
+  std::vector<bool> used(total, false);
+  std::vector<Node> nodes(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    nodes[i] = Node{static_cast<NodeId>(i), Position{}, false, kNoNode};
+  }
+
+  std::size_t aps_made = 0;
+  for (std::size_t oi = 0; oi < total && aps_made < m; ++oi) {
+    const std::size_t cand = order[oi];
+    if (used[cand]) continue;
+
+    // Collect unused nodes in the candidate AP's communication range.
+    std::vector<std::size_t> avail;
+    for (std::size_t j = 0; j < total; ++j) {
+      if (!used[j] && j != cand &&
+          trace.rss(static_cast<NodeId>(cand), static_cast<NodeId>(j)) >=
+              thresholds.assoc_rss_dbm) {
+        avail.push_back(j);
+      }
+    }
+    if (avail.size() < n) continue;  // cannot host n clients, try next
+
+    used[cand] = true;
+    nodes[cand].is_ap = true;
+    rng.shuffle(avail);
+    for (std::size_t k = 0; k < n; ++k) {
+      used[avail[k]] = true;
+      nodes[avail[k]].ap = static_cast<NodeId>(cand);
+    }
+    ++aps_made;
+  }
+  if (aps_made < m) {
+    throw std::runtime_error("build_tmn: trace cannot supply requested T(m,n)");
+  }
+
+  // Keep only the selected nodes, renumbering compactly.
+  std::vector<NodeId> remap(total, kNoNode);
+  std::vector<Node> kept;
+  for (std::size_t i = 0; i < total; ++i) {
+    if (used[i]) {
+      remap[i] = static_cast<NodeId>(kept.size());
+      Node nn = nodes[i];
+      nn.id = remap[i];
+      kept.push_back(nn);
+    }
+  }
+  for (Node& nn : kept) {
+    if (nn.ap != kNoNode) nn.ap = remap[static_cast<std::size_t>(nn.ap)];
+  }
+  RssMap sub(kept.size());
+  for (std::size_t i = 0; i < total; ++i) {
+    if (remap[i] == kNoNode) continue;
+    for (std::size_t j = i + 1; j < total; ++j) {
+      if (remap[j] == kNoNode) continue;
+      sub.set_rss(remap[i], remap[j],
+                  trace.rss(static_cast<NodeId>(i), static_cast<NodeId>(j)));
+    }
+  }
+  return Topology(std::move(kept), std::move(sub), thresholds);
+}
+
+Topology Topology::random_network(std::size_t m, std::size_t n, double side,
+                                  const LogDistanceModel& model,
+                                  const PhyThresholds& thresholds, Rng& rng) {
+  // Maximum AP-client distance that still satisfies the association RSS.
+  // rss = tx - ref - 10*e*log10(d) >= assoc  =>  d <= 10^((tx-ref-assoc)/(10e))
+  const double max_d = std::pow(
+      10.0, (model.tx_power_dbm - model.ref_loss_db -
+             thresholds.assoc_rss_dbm) /
+                (10.0 * model.exponent));
+
+  std::vector<Node> nodes;
+  std::vector<Position> pos;
+  for (std::size_t a = 0; a < m; ++a) {
+    const NodeId ap_id = static_cast<NodeId>(nodes.size());
+    const Position ap_pos{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+    nodes.push_back(Node{ap_id, ap_pos, true, kNoNode});
+    pos.push_back(ap_pos);
+    for (std::size_t c = 0; c < n; ++c) {
+      // Rejection-sample a client inside both the AP disc and the area.
+      Position p{};
+      for (int tries = 0; tries < 1000; ++tries) {
+        const double r = max_d * std::sqrt(rng.uniform(0.0, 1.0));
+        const double th = rng.uniform(0.0, 2.0 * 3.14159265358979323846);
+        p = Position{ap_pos.x + r * std::cos(th), ap_pos.y + r * std::sin(th)};
+        if (p.x >= 0.0 && p.x <= side && p.y >= 0.0 && p.y <= side) break;
+      }
+      const NodeId cid = static_cast<NodeId>(nodes.size());
+      nodes.push_back(Node{cid, p, false, ap_id});
+      pos.push_back(p);
+    }
+  }
+  RssMap rss = RssMap::from_positions(pos, model, /*shadowing=*/0.0, rng);
+  return Topology(std::move(nodes), std::move(rss), thresholds);
+}
+
+NodeId ManualTopologyBuilder::add_ap(Position pos) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, pos, true, kNoNode});
+  return id;
+}
+
+NodeId ManualTopologyBuilder::add_client(NodeId ap, Position pos) {
+  const NodeId id = static_cast<NodeId>(nodes_.size());
+  nodes_.push_back(Node{id, pos, false, ap});
+  edges_.emplace_back(ap, id, kRssStrong);
+  return id;
+}
+
+ManualTopologyBuilder& ManualTopologyBuilder::set_rss(NodeId a, NodeId b,
+                                                      double dbm) {
+  edges_.emplace_back(a, b, dbm);
+  return *this;
+}
+
+ManualTopologyBuilder& ManualTopologyBuilder::interfere(NodeId a, NodeId b) {
+  edges_.emplace_back(a, b, kRssInterfere);
+  return *this;
+}
+
+ManualTopologyBuilder& ManualTopologyBuilder::sense(NodeId a, NodeId b) {
+  edges_.emplace_back(a, b, kRssSense);
+  return *this;
+}
+
+Topology ManualTopologyBuilder::build(const PhyThresholds& thresholds) const {
+  RssMap rss(nodes_.size());
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    for (std::size_t j = i + 1; j < nodes_.size(); ++j) {
+      rss.set_rss(static_cast<NodeId>(i), static_cast<NodeId>(j), kRssFaint);
+    }
+  }
+  for (const auto& [a, b, dbm] : edges_) {
+    rss.set_rss(a, b, dbm);
+  }
+  return Topology(nodes_, std::move(rss), thresholds);
+}
+
+}  // namespace dmn::topo

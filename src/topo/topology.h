@@ -1,0 +1,119 @@
+#pragma once
+// The Topology bundles nodes, associations, the RSS map and the PHY
+// thresholds every scheme consumes, plus the builders the paper's
+// evaluation uses: T(m,n) drawn from a trace (§4.2.1), ns-3-style random
+// placement (§4.2.5), and hand-built figure topologies (Figs 1, 7, 13).
+
+#include <tuple>
+#include <vector>
+
+#include "topo/node.h"
+#include "topo/propagation.h"
+#include "util/rng.h"
+#include "util/units.h"
+
+namespace dmn::topo {
+
+/// Radio decision thresholds shared by every MAC scheme.
+struct PhyThresholds {
+  double noise_floor_dbm = kNoiseFloorDbm;   // -94 dBm
+  double cs_threshold_dbm = -82.0;           // carrier-sense energy detect
+  double sinr_data_db = 7.0;                 // 12 Mbps decode threshold
+  double sinr_control_db = 4.0;              // 6 Mbps (paper's cited floor)
+  double min_rss_dbm = -87.0;                // receiver sensitivity
+  double assoc_rss_dbm = -80.0;              // "can communicate" for T(m,n)
+};
+
+/// RSS tiers used by hand-built figure topologies.
+///  * kRssStrong    — AP-client communication links.
+///  * kRssInterfere — destructive co-channel interference (hidden-terminal
+///    collision edges); decisively inside the SINR threshold.
+///  * kRssSense     — "can hear each other": above the carrier-sense
+///    threshold but below the association/communication threshold, and far
+///    enough below the communication tier that concurrent (exposed)
+///    transmissions and their ACKs still decode.
+///  * kRssFaint     — out of range entirely.
+inline constexpr double kRssStrong = -55.0;
+inline constexpr double kRssInterfere = -58.0;
+inline constexpr double kRssSense = -81.0;
+inline constexpr double kRssFaint = -120.0;
+
+class Topology {
+ public:
+  Topology(std::vector<Node> nodes, RssMap rss, PhyThresholds thresholds);
+
+  // ---- builders -------------------------------------------------------
+
+  /// The paper's T(m,n): sort trace nodes by communication-range degree
+  /// (descending), repeatedly take the best remaining node as an AP and
+  /// give it n random in-range clients. Throws if the trace cannot supply
+  /// m APs with n clients each.
+  static Topology build_tmn(const RssMap& trace, std::size_t m, std::size_t n,
+                            const PhyThresholds& thresholds, Rng& rng);
+
+  /// Random placement of m APs x n clients in a side x side square with a
+  /// log-distance model (the Figure 14 setting). Clients are placed within
+  /// communication range of their AP.
+  static Topology random_network(std::size_t m, std::size_t n, double side,
+                                 const LogDistanceModel& model,
+                                 const PhyThresholds& thresholds, Rng& rng);
+
+  // ---- accessors ------------------------------------------------------
+
+  std::size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(NodeId id) const { return nodes_.at(
+      static_cast<std::size_t>(id)); }
+  const std::vector<Node>& nodes() const { return nodes_; }
+  const RssMap& rss_map() const { return rss_; }
+  const PhyThresholds& thresholds() const { return thresholds_; }
+
+  double rss(NodeId a, NodeId b) const { return rss_.rss(a, b); }
+
+  /// a hears b's transmissions for carrier sensing.
+  bool can_sense(NodeId a, NodeId b) const;
+
+  /// a can decode packets from b in a quiet channel.
+  bool can_communicate(NodeId a, NodeId b) const;
+
+  std::vector<NodeId> aps() const;
+  std::vector<NodeId> clients_of(NodeId ap) const;
+  std::vector<NodeId> all_clients() const;
+
+  /// Nodes within communication range of `id` (excluding itself).
+  std::vector<NodeId> comm_neighbors(NodeId id) const;
+
+  /// All AP->client (downlink) and/or client->AP (uplink) links.
+  std::vector<Link> make_links(bool downlink, bool uplink) const;
+
+ private:
+  std::vector<Node> nodes_;
+  RssMap rss_;
+  PhyThresholds thresholds_;
+};
+
+/// Incremental builder for hand-crafted figure topologies. RSS defaults to
+/// kRssFaint everywhere; the caller paints communication and interference
+/// edges on top.
+class ManualTopologyBuilder {
+ public:
+  /// Adds an AP; returns its id.
+  NodeId add_ap(Position pos = {});
+  /// Adds a client associated to `ap`; automatically sets strong RSS
+  /// between the pair. Returns its id.
+  NodeId add_client(NodeId ap, Position pos = {});
+
+  /// Paints RSS for a node pair (both directions).
+  ManualTopologyBuilder& set_rss(NodeId a, NodeId b, double dbm);
+  /// Marks the pair as destructively interfering (kRssInterfere).
+  ManualTopologyBuilder& interfere(NodeId a, NodeId b);
+  /// Marks the pair as within carrier-sense range only (kRssSense).
+  ManualTopologyBuilder& sense(NodeId a, NodeId b);
+
+  Topology build(const PhyThresholds& thresholds = {}) const;
+
+ private:
+  std::vector<Node> nodes_;
+  std::vector<std::tuple<NodeId, NodeId, double>> edges_;
+};
+
+}  // namespace dmn::topo

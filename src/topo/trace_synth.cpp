@@ -1,0 +1,87 @@
+#include "topo/trace_synth.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dmn::topo {
+namespace {
+
+/// Number of interior wall-grid lines crossed by the segment a-b within one
+/// building, given the room grid pitch.
+int walls_crossed_1d(double a, double b, double pitch) {
+  const double lo = std::min(a, b);
+  const double hi = std::max(a, b);
+  return static_cast<int>(std::floor(hi / pitch)) -
+         static_cast<int>(std::floor(lo / pitch));
+}
+
+}  // namespace
+
+SyntheticTrace synthesize_trace(const TraceParams& params, Rng& rng) {
+  const std::size_t n = params.num_nodes;
+  std::vector<Position> pos(n);
+  std::vector<int> building(n);
+
+  // Building A occupies x in [0, w]; building B x in [w + gap, 2w + gap].
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool in_b = i >= n / 2;
+    building[i] = in_b ? 1 : 0;
+    const double x0 = in_b ? params.building_w + params.building_gap : 0.0;
+    pos[i] = Position{x0 + rng.uniform(0.0, params.building_w),
+                      rng.uniform(0.0, params.building_h)};
+  }
+
+  LogDistanceModel model{params.tx_power_dbm, params.ref_loss_db,
+                         params.exponent};
+
+  RssMap map(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = i + 1; j < n; ++j) {
+      double rss = model.rss_dbm(pos[i], pos[j]);
+
+      // Interior walls: count room-grid crossings, capped (beyond a few
+      // walls, propagation is dominated by corridors/diffraction).
+      int walls = walls_crossed_1d(pos[i].x, pos[j].x, params.room_w) +
+                  walls_crossed_1d(pos[i].y, pos[j].y, params.room_h);
+      walls = std::min(walls, params.max_interior_walls);
+      rss -= params.wall_db * walls;
+
+      // Exterior shells when the pair spans the two buildings.
+      if (building[i] != building[j]) {
+        rss -= 2.0 * params.exterior_wall_db;
+      }
+
+      if (params.shadowing_sigma_db > 0.0) {
+        rss += rng.normal(0.0, params.shadowing_sigma_db);
+      }
+      map.set_rss(static_cast<NodeId>(i), static_cast<NodeId>(j), rss);
+    }
+  }
+  return SyntheticTrace{std::move(pos), std::move(map)};
+}
+
+double rss_mismatch_fraction(const RssMap& map, double diff_db,
+                             double floor_dbm) {
+  const std::size_t n = map.size();
+  std::size_t total = 0;
+  std::size_t exceed = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      if (j == i) continue;
+      for (std::size_t k = j + 1; k < n; ++k) {
+        if (k == i) continue;
+        const double a = map.rss(static_cast<NodeId>(i),
+                                 static_cast<NodeId>(j));
+        const double b = map.rss(static_cast<NodeId>(i),
+                                 static_cast<NodeId>(k));
+        if (a < floor_dbm || b < floor_dbm) continue;
+        ++total;
+        if (std::abs(a - b) > diff_db) ++exceed;
+      }
+    }
+  }
+  if (total == 0) return 0.0;
+  return static_cast<double>(exceed) / static_cast<double>(total);
+}
+
+}  // namespace dmn::topo

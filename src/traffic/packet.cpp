@@ -1,0 +1,4 @@
+#include "traffic/packet.h"
+
+// Header-only in practice; this TU anchors the module in the archive.
+namespace dmn::traffic {}

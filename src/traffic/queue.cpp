@@ -1,0 +1,51 @@
+#include "traffic/queue.h"
+
+#include <algorithm>
+
+namespace dmn::traffic {
+
+bool PacketQueue::push(Packet p) {
+  if (q_.size() >= capacity_) {
+    ++dropped_;
+    return false;
+  }
+  q_.push_back(std::move(p));
+  return true;
+}
+
+std::optional<Packet> PacketQueue::pop() {
+  if (q_.empty()) return std::nullopt;
+  Packet p = std::move(q_.front());
+  q_.pop_front();
+  return p;
+}
+
+const Packet* PacketQueue::front() const {
+  return q_.empty() ? nullptr : &q_.front();
+}
+
+std::optional<Packet> PacketQueue::pop_for(topo::NodeId dst) {
+  const auto it = std::find_if(q_.begin(), q_.end(), [dst](const Packet& p) {
+    return p.dst == dst;
+  });
+  if (it == q_.end()) return std::nullopt;
+  Packet p = std::move(*it);
+  q_.erase(it);
+  return p;
+}
+
+const Packet* PacketQueue::front_for(topo::NodeId dst) const {
+  const auto it = std::find_if(q_.begin(), q_.end(), [dst](const Packet& p) {
+    return p.dst == dst;
+  });
+  return it == q_.end() ? nullptr : &*it;
+}
+
+std::size_t PacketQueue::count_for(topo::NodeId dst) const {
+  return static_cast<std::size_t>(
+      std::count_if(q_.begin(), q_.end(), [dst](const Packet& p) {
+        return p.dst == dst;
+      }));
+}
+
+}  // namespace dmn::traffic

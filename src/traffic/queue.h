@@ -1,0 +1,46 @@
+#pragma once
+// Bounded FIFO MAC queue with drop-tail accounting.
+
+#include <cstddef>
+#include <deque>
+#include <optional>
+
+#include "traffic/packet.h"
+
+namespace dmn::traffic {
+
+class PacketQueue {
+ public:
+  explicit PacketQueue(std::size_t capacity = 100) : capacity_(capacity) {}
+
+  /// Enqueues; returns false (and counts a drop) when full.
+  bool push(Packet p);
+
+  /// Removes and returns the head, if any.
+  std::optional<Packet> pop();
+
+  /// Peeks the head (nullptr when empty).
+  const Packet* front() const;
+
+  /// Removes the first packet destined to `dst`, if any (DOMINO APs pick by
+  /// scheduled destination).
+  std::optional<Packet> pop_for(topo::NodeId dst);
+
+  /// First packet destined to `dst` (nullptr if none).
+  const Packet* front_for(topo::NodeId dst) const;
+
+  std::size_t size() const { return q_.size(); }
+  bool empty() const { return q_.empty(); }
+  std::size_t capacity() const { return capacity_; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  /// Number of queued packets for a destination.
+  std::size_t count_for(topo::NodeId dst) const;
+
+ private:
+  std::size_t capacity_;
+  std::deque<Packet> q_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace dmn::traffic

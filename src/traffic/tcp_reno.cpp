@@ -1,0 +1,197 @@
+#include "traffic/tcp_reno.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dmn::traffic {
+
+TcpSender::TcpSender(sim::Simulator& sim, Flow flow, const TcpParams& params,
+                     PacketIdGen& ids, EnqueueFn enqueue_to_mac)
+    : sim_(sim),
+      flow_(flow),
+      params_(params),
+      ids_(ids),
+      enqueue_(std::move(enqueue_to_mac)),
+      cwnd_(params.initial_cwnd),
+      ssthresh_(params.initial_ssthresh),
+      rto_(params.min_rto) {
+  saturated_ = params_.app_rate_bps <= 0.0;
+  if (!saturated_) {
+    app_interval_ = static_cast<TimeNs>(
+        std::llround(8.0 * static_cast<double>(params_.mss_bytes) /
+                     params_.app_rate_bps * 1e9));
+    if (app_interval_ <= 0) app_interval_ = 1;
+  }
+}
+
+void TcpSender::start(TimeNs at) {
+  if (saturated_) {
+    app_event_ = sim_.schedule_at(at, [this] { try_send(); });
+  } else {
+    app_event_ = sim_.schedule_at(at, [this] { app_tick(); });
+  }
+}
+
+void TcpSender::app_tick() {
+  ++app_produced_;
+  try_send();
+  app_event_ = sim_.schedule_in(app_interval_, [this] { app_tick(); });
+}
+
+void TcpSender::try_send() {
+  const std::uint64_t window_end =
+      snd_una_ + static_cast<std::uint64_t>(std::min(cwnd_, params_.max_cwnd));
+  while (next_seq_ < window_end &&
+         (saturated_ || next_seq_ < app_produced_)) {
+    send_segment(next_seq_, /*retransmit=*/false);
+    ++next_seq_;
+  }
+}
+
+void TcpSender::send_segment(std::uint64_t seq, bool retransmit) {
+  Packet p;
+  p.id = ids_.next();
+  p.flow = flow_.id;
+  p.src = flow_.src;
+  p.dst = flow_.dst;
+  p.bytes = params_.mss_bytes;
+  p.created = sim_.now();
+  p.enqueued = sim_.now();
+  p.tcp_seq = seq;
+
+  if (retransmit) {
+    ++retransmits_;
+    was_retransmitted_.insert(seq);
+    send_time_.erase(seq);  // Karn: never sample retransmitted segments
+  } else if (!was_retransmitted_.contains(seq)) {
+    send_time_[seq] = sim_.now();
+  }
+  enqueue_(std::move(p));  // MAC drop shows up as loss; TCP recovers it
+  arm_rto();
+}
+
+void TcpSender::arm_rto() {
+  sim_.cancel(rto_event_);
+  rto_event_ = sim_.schedule_in(rto_, [this] { on_rto(); });
+}
+
+void TcpSender::on_rto() {
+  if (snd_una_ >= next_seq_) return;  // nothing outstanding
+  ++timeouts_;
+  ssthresh_ = std::max(flight() / 2.0, 2.0);
+  cwnd_ = 1.0;
+  dupacks_ = 0;
+  in_recovery_ = false;
+  rto_backoff_ = std::min(rto_backoff_ + 1, 4);
+  rto_ = std::min<TimeNs>(params_.max_rto, params_.min_rto << rto_backoff_);
+  send_segment(snd_una_, /*retransmit=*/true);
+  // Go-back-N: everything past the retransmitted segment is resent as the
+  // window reopens (classic post-timeout behaviour).
+  next_seq_ = snd_una_ + 1;
+}
+
+void TcpSender::on_ack(const Packet& ack) {
+  const std::uint64_t ack_no = ack.tcp_ack_no;
+  if (ack_no > snd_una_) {
+    // New data acknowledged.
+    const auto it = send_time_.find(ack_no - 1);
+    if (it != send_time_.end() &&
+        !was_retransmitted_.contains(ack_no - 1)) {
+      const double sample = static_cast<double>(sim_.now() - it->second);
+      if (srtt_ns_ == 0.0) {
+        srtt_ns_ = sample;
+        rttvar_ns_ = sample / 2.0;
+      } else {
+        const double err = sample - srtt_ns_;
+        srtt_ns_ += 0.125 * err;
+        rttvar_ns_ += 0.25 * (std::abs(err) - rttvar_ns_);
+      }
+      rto_backoff_ = 0;
+      rto_ = std::clamp<TimeNs>(
+          static_cast<TimeNs>(srtt_ns_ + 4.0 * rttvar_ns_), params_.min_rto,
+          params_.max_rto);
+    }
+    // Garbage-collect state below the new snd_una.
+    for (std::uint64_t s = snd_una_; s < ack_no; ++s) {
+      send_time_.erase(s);
+      was_retransmitted_.erase(s);
+    }
+    snd_una_ = ack_no;
+    dupacks_ = 0;
+
+    if (in_recovery_) {
+      if (snd_una_ >= recover_) {
+        in_recovery_ = false;
+        cwnd_ = ssthresh_;  // deflate
+      } else {
+        // Partial ACK: retransmit the next hole (NewReno-style).
+        send_segment(snd_una_, /*retransmit=*/true);
+      }
+    } else if (cwnd_ < ssthresh_) {
+      cwnd_ += 1.0;  // slow start
+    } else {
+      cwnd_ += 1.0 / cwnd_;  // congestion avoidance
+    }
+    cwnd_ = std::min(cwnd_, params_.max_cwnd);
+
+    if (snd_una_ >= next_seq_) {
+      sim_.cancel(rto_event_);  // all data acked
+    } else {
+      arm_rto();
+    }
+    try_send();
+  } else if (ack_no == snd_una_ && snd_una_ < next_seq_) {
+    // Duplicate ACK.
+    ++dupacks_;
+    if (!in_recovery_ && dupacks_ == 3) {
+      ssthresh_ = std::max(flight() / 2.0, 2.0);
+      cwnd_ = ssthresh_ + 3.0;
+      in_recovery_ = true;
+      recover_ = next_seq_;
+      send_segment(snd_una_, /*retransmit=*/true);
+    } else if (in_recovery_) {
+      cwnd_ += 1.0;  // window inflation
+      cwnd_ = std::min(cwnd_, params_.max_cwnd);
+      try_send();
+    }
+  }
+}
+
+TcpReceiver::TcpReceiver(Flow flow, const TcpParams& params, PacketIdGen& ids,
+                         EnqueueFn send_ack,
+                         std::function<void(const Packet&)> deliver)
+    : flow_(flow),
+      params_(params),
+      ids_(ids),
+      send_ack_(std::move(send_ack)),
+      deliver_(std::move(deliver)) {}
+
+void TcpReceiver::on_data(const Packet& p, TimeNs now) {
+  if (!delivered_.contains(p.tcp_seq)) {
+    delivered_.insert(p.tcp_seq);
+    deliver_(p);
+  }
+  if (p.tcp_seq == rcv_next_) {
+    ++rcv_next_;
+    while (out_of_order_.contains(rcv_next_)) {
+      out_of_order_.erase(rcv_next_);
+      ++rcv_next_;
+    }
+  } else if (p.tcp_seq > rcv_next_) {
+    out_of_order_.insert(p.tcp_seq);
+  }
+  // Cumulative ACK for every data arrival (dupacks drive fast retransmit).
+  Packet ack;
+  ack.id = ids_.next();
+  ack.flow = flow_.id;
+  ack.src = flow_.dst;
+  ack.dst = flow_.src;
+  ack.bytes = params_.ack_bytes;
+  ack.created = now;
+  ack.enqueued = now;
+  ack.tcp_is_ack = true;
+  ack.tcp_ack_no = rcv_next_;
+  send_ack_(std::move(ack));
+}
+
+}  // namespace dmn::traffic

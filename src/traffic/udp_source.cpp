@@ -1,0 +1,49 @@
+#include "traffic/udp_source.h"
+
+#include <cmath>
+
+namespace dmn::traffic {
+
+UdpSource::UdpSource(sim::Simulator& sim, Flow flow, double rate_bps,
+                     std::size_t packet_bytes, PacketIdGen& ids,
+                     EnqueueFn enqueue)
+    : sim_(sim),
+      flow_(flow),
+      rate_bps_(rate_bps),
+      packet_bytes_(packet_bytes),
+      ids_(ids),
+      enqueue_(std::move(enqueue)) {
+  if (rate_bps_ > 0.0) {
+    interval_ = static_cast<TimeNs>(
+        std::llround(8.0 * static_cast<double>(packet_bytes_) / rate_bps_ *
+                     1e9));
+    if (interval_ <= 0) interval_ = 1;
+  }
+}
+
+void UdpSource::start(TimeNs at) {
+  if (rate_bps_ <= 0.0 || running_) return;
+  running_ = true;
+  next_ = sim_.schedule_at(at, [this] { emit(); });
+}
+
+void UdpSource::stop() {
+  running_ = false;
+  sim_.cancel(next_);
+}
+
+void UdpSource::emit() {
+  if (!running_) return;
+  Packet p;
+  p.id = ids_.next();
+  p.flow = flow_.id;
+  p.src = flow_.src;
+  p.dst = flow_.dst;
+  p.bytes = packet_bytes_;
+  p.created = sim_.now();
+  p.enqueued = sim_.now();
+  enqueue_(std::move(p));
+  next_ = sim_.schedule_in(interval_, [this] { emit(); });
+}
+
+}  // namespace dmn::traffic

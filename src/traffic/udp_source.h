@@ -1,0 +1,42 @@
+#pragma once
+// Constant-bit-rate UDP source (the paper's default workload: 10 Mbps per
+// direction of 512 B packets, §4.2.1).
+
+#include <functional>
+
+#include "sim/simulator.h"
+#include "traffic/packet.h"
+
+namespace dmn::traffic {
+
+/// Hands freshly created packets to the MAC; returns false when the MAC
+/// queue dropped the packet (UDP ignores it, TCP treats it as a loss).
+using EnqueueFn = std::function<bool(Packet)>;
+
+class UdpSource {
+ public:
+  /// rate_bps == 0 disables the source. Saturated sources use
+  /// make_saturated() on the MAC side instead of a huge rate here.
+  UdpSource(sim::Simulator& sim, Flow flow, double rate_bps,
+            std::size_t packet_bytes, PacketIdGen& ids, EnqueueFn enqueue);
+
+  void start(TimeNs at);
+  void stop();
+
+  const Flow& flow() const { return flow_; }
+
+ private:
+  void emit();
+
+  sim::Simulator& sim_;
+  Flow flow_;
+  double rate_bps_;
+  std::size_t packet_bytes_;
+  PacketIdGen& ids_;
+  EnqueueFn enqueue_;
+  TimeNs interval_ = 0;
+  bool running_ = false;
+  sim::EventHandle next_;
+};
+
+}  // namespace dmn::traffic

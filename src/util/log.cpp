@@ -1,0 +1,32 @@
+#include "util/log.h"
+
+namespace dmn {
+namespace {
+
+LogLevel g_level = LogLevel::kWarn;
+
+const char* tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kDebug: return "DEBUG";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(g_level);
+}
+
+void log_message(LogLevel level, const std::string& msg) {
+  std::fprintf(stderr, "[%s] %s\n", tag(level), msg.c_str());
+}
+
+}  // namespace dmn

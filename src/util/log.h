@@ -1,0 +1,31 @@
+#pragma once
+// Minimal leveled logger.
+//
+// Simulation hot paths guard calls with `if (log_enabled(...))`, so disabled
+// levels cost one branch. The MAC-level timeline tracing used by the
+// Figure 10 reproduction uses api/timeline.h instead of this logger.
+
+#include <cstdio>
+#include <string>
+
+namespace dmn {
+
+enum class LogLevel { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Global threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+bool log_enabled(LogLevel level);
+
+/// printf-style logging. Prepends the level tag.
+void log_message(LogLevel level, const std::string& msg);
+
+}  // namespace dmn
+
+#define DMN_LOG(level, msg)                        \
+  do {                                             \
+    if (::dmn::log_enabled(level)) {               \
+      ::dmn::log_message(level, (msg));            \
+    }                                              \
+  } while (0)

@@ -1,0 +1,4 @@
+#include "util/rng.h"
+
+// Header-only in practice; this TU anchors the module in the archive.
+namespace dmn {}

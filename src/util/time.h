@@ -1,0 +1,30 @@
+#pragma once
+// Simulation time: signed 64-bit nanosecond ticks.
+//
+// The paper works at microsecond granularity (WiFi slot = 9 us, signature =
+// 6.35 us); nanosecond ticks keep sub-microsecond quantities (e.g. 6.35 us)
+// exact and give ~292 years of range, so overflow is never a concern for a
+// 50 s experiment.
+
+#include <cstdint>
+
+namespace dmn {
+
+using TimeNs = std::int64_t;
+
+inline constexpr TimeNs kNsPerUs = 1000;
+inline constexpr TimeNs kNsPerMs = 1000 * kNsPerUs;
+inline constexpr TimeNs kNsPerSec = 1000 * kNsPerMs;
+
+constexpr TimeNs usec(double us) { return static_cast<TimeNs>(us * kNsPerUs); }
+constexpr TimeNs msec(double ms) { return static_cast<TimeNs>(ms * kNsPerMs); }
+constexpr TimeNs sec(double s) { return static_cast<TimeNs>(s * kNsPerSec); }
+
+constexpr double to_usec(TimeNs t) { return static_cast<double>(t) / kNsPerUs; }
+constexpr double to_msec(TimeNs t) { return static_cast<double>(t) / kNsPerMs; }
+constexpr double to_sec(TimeNs t) { return static_cast<double>(t) / kNsPerSec; }
+
+/// A sentinel meaning "never" / unset.
+inline constexpr TimeNs kTimeNever = -1;
+
+}  // namespace dmn

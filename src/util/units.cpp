@@ -1,0 +1,19 @@
+#include "util/units.h"
+
+namespace dmn {
+
+double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
+
+double mw_to_dbm(double mw) {
+  if (mw <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(mw);
+}
+
+double ratio_to_db(double ratio) {
+  if (ratio <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(ratio);
+}
+
+double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
+
+}  // namespace dmn

@@ -1,0 +1,34 @@
+#pragma once
+// Radio power units and conversions.
+//
+// All RSS values in the library are carried in dBm (matching the paper's
+// trace format); interference summation happens in milliwatts.
+
+#include <cmath>
+#include <limits>
+
+namespace dmn {
+
+/// Smallest representable power used as "silence" (-infinity dBm stand-in).
+inline constexpr double kZeroPowerMw = 0.0;
+
+/// dBm -> milliwatts.
+double dbm_to_mw(double dbm);
+
+/// milliwatts -> dBm. Returns -infinity for 0 mW.
+double mw_to_dbm(double mw);
+
+/// Ratio (linear) -> dB.
+double ratio_to_db(double ratio);
+
+/// dB -> linear ratio.
+double db_to_ratio(double db);
+
+/// Thermal noise floor for a 20 MHz 802.11 channel, including a typical
+/// receiver noise figure: -174 dBm/Hz + 10*log10(20e6) + 7 dB NF ~= -94 dBm.
+inline constexpr double kNoiseFloorDbm = -94.0;
+
+/// Default transmit power used by the synthetic trace (typical enterprise AP).
+inline constexpr double kDefaultTxPowerDbm = 20.0;
+
+}  // namespace dmn

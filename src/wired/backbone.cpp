@@ -1,0 +1,17 @@
+#include "wired/backbone.h"
+
+#include <algorithm>
+
+namespace dmn::wired {
+
+TimeNs Backbone::sample_latency() {
+  const double s = rng_.normal(static_cast<double>(params_.mean_latency),
+                               static_cast<double>(params_.sigma_latency));
+  return std::max(params_.min_latency, static_cast<TimeNs>(s));
+}
+
+void Backbone::send(std::function<void()> fn) {
+  sim_.schedule_in(sample_latency(), std::move(fn));
+}
+
+}  // namespace dmn::wired

@@ -1,0 +1,42 @@
+#pragma once
+// The wired backbone between APs and the central server.
+//
+// The paper models per-message latency as Normal(mean 285 us, sigma 22 us)
+// following CENTAUR's measurements, and sweeps sigma 20-80 us for the
+// misalignment study (Figure 11). This jitter is exactly what breaks strict
+// scheduling and what Relative Scheduling tolerates.
+
+#include <functional>
+
+#include "sim/simulator.h"
+#include "util/rng.h"
+#include "util/time.h"
+
+namespace dmn::wired {
+
+struct BackboneParams {
+  TimeNs mean_latency = usec(285);
+  TimeNs sigma_latency = usec(22);
+  TimeNs min_latency = usec(20);  // physical floor; Normal tail clamp
+};
+
+class Backbone {
+ public:
+  Backbone(sim::Simulator& sim, const BackboneParams& params, Rng rng)
+      : sim_(sim), params_(params), rng_(std::move(rng)) {}
+
+  /// Delivers `fn` after one sampled one-way latency.
+  void send(std::function<void()> fn);
+
+  /// One latency sample (exposed for tests and the Fig-11 study).
+  TimeNs sample_latency();
+
+  const BackboneParams& params() const { return params_; }
+
+ private:
+  sim::Simulator& sim_;
+  BackboneParams params_;
+  Rng rng_;
+};
+
+}  // namespace dmn::wired

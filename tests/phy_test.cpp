@@ -1,0 +1,227 @@
+// Unit tests: frame airtimes, the SINR medium (interference accumulation,
+// carrier sense, half duplex, NAV, ROP orthogonality) and the fitted
+// signature detection model.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "phy/medium.h"
+#include "phy/signature_model.h"
+#include "phy/transceiver.h"
+#include "topo/topology.h"
+
+namespace dmn::phy {
+namespace {
+
+TEST(Airtime, KnownDurations) {
+  // 540 B (512 payload + 28 header) at 12 Mbps:
+  // ceil((16 + 4320 + 6)/48) = 91 symbols -> 364 + 20 us preamble.
+  EXPECT_EQ(frame_airtime(540, 12e6), usec(384));
+  // 14 B ACK at 6 Mbps: ceil(134/24) = 6 symbols -> 24 + 20 us.
+  EXPECT_EQ(frame_airtime(14, 6e6), usec(44));
+}
+
+TEST(Airtime, MonotoneInSizeAndRate) {
+  EXPECT_LT(frame_airtime(100, 12e6), frame_airtime(1000, 12e6));
+  EXPECT_GT(frame_airtime(512, 6e6), frame_airtime(512, 12e6));
+}
+
+/// Records everything it hears.
+class Sniffer : public MediumClient {
+ public:
+  struct Rx {
+    Frame frame;
+    RxInfo info;
+  };
+  std::vector<Rx> heard;
+  std::vector<bool> cs_edges;
+
+  void on_frame_rx(const Frame& f, const RxInfo& i) override {
+    heard.push_back({f, i});
+  }
+  void on_cs_change(bool busy) override { cs_edges.push_back(busy); }
+};
+
+class MediumTest : public ::testing::Test {
+ protected:
+  MediumTest() {
+    topo::ManualTopologyBuilder b;
+    ap0_ = b.add_ap();        // 0
+    c0_ = b.add_client(ap0_); // 1
+    ap1_ = b.add_ap();        // 2
+    c1_ = b.add_client(ap1_); // 3
+    b.interfere(ap1_, c0_);   // ap1's tx destroys c0's reception
+    topo_ = std::make_unique<topo::Topology>(b.build());
+    medium_ = std::make_unique<Medium>(sim_, *topo_);
+    for (int i = 0; i < 4; ++i) {
+      sniffers_.push_back(std::make_unique<Sniffer>());
+      medium_->attach(i, sniffers_.back().get());
+    }
+  }
+
+  Frame data(topo::NodeId src, topo::NodeId dst) {
+    Frame f;
+    f.type = FrameType::kData;
+    f.src = src;
+    f.dst = dst;
+    f.duration = usec(100);
+    f.packet_id = 1;
+    return f;
+  }
+
+  sim::Simulator sim_;
+  topo::NodeId ap0_, c0_, ap1_, c1_;
+  std::unique_ptr<topo::Topology> topo_;
+  std::unique_ptr<Medium> medium_;
+  std::vector<std::unique_ptr<Sniffer>> sniffers_;
+};
+
+TEST_F(MediumTest, CleanFrameDecodes) {
+  medium_->transmit(data(ap0_, c0_));
+  sim_.run();
+  ASSERT_EQ(sniffers_[1]->heard.size(), 1u);
+  EXPECT_TRUE(sniffers_[1]->heard[0].info.decoded);
+  EXPECT_GT(sniffers_[1]->heard[0].info.min_sinr_db, 30.0);
+}
+
+TEST_F(MediumTest, ConcurrentInterferenceKillsDecode) {
+  medium_->transmit(data(ap0_, c0_));
+  sim_.schedule_at(usec(10), [&] { medium_->transmit(data(ap1_, c1_)); });
+  sim_.run();
+  ASSERT_FALSE(sniffers_[1]->heard.empty());
+  EXPECT_FALSE(sniffers_[1]->heard[0].info.decoded)
+      << "ap1's overlap must corrupt c0's reception";
+  // c1 decodes fine: ap0 is faint at c1.
+  bool c1_ok = false;
+  for (const auto& rx : sniffers_[3]->heard) {
+    if (rx.frame.src == ap1_) c1_ok = rx.info.decoded;
+  }
+  EXPECT_TRUE(c1_ok);
+}
+
+TEST_F(MediumTest, LateInterferenceStillCountsWorstCase) {
+  // Interferer appears in the last microseconds of the frame: min-SINR
+  // semantics must still fail the frame.
+  medium_->transmit(data(ap0_, c0_));
+  sim_.schedule_at(usec(95), [&] { medium_->transmit(data(ap1_, c1_)); });
+  sim_.run();
+  EXPECT_FALSE(sniffers_[1]->heard[0].info.decoded);
+}
+
+TEST_F(MediumTest, HalfDuplexLoss) {
+  medium_->transmit(data(ap0_, c0_));
+  // c0 transmits mid-reception.
+  sim_.schedule_at(usec(50), [&] { medium_->transmit(data(c0_, ap0_)); });
+  sim_.run();
+  ASSERT_FALSE(sniffers_[1]->heard.empty());
+  EXPECT_TRUE(sniffers_[1]->heard[0].info.half_duplex_loss);
+  EXPECT_FALSE(sniffers_[1]->heard[0].info.decoded);
+}
+
+TEST_F(MediumTest, CarrierSenseEdges) {
+  medium_->transmit(data(ap0_, c0_));
+  sim_.run();
+  // c0 saw busy then idle.
+  ASSERT_GE(sniffers_[1]->cs_edges.size(), 2u);
+  EXPECT_TRUE(sniffers_[1]->cs_edges[0]);
+  EXPECT_FALSE(sniffers_[1]->cs_edges.back());
+  // c1 (faint from ap0) never sensed anything.
+  EXPECT_TRUE(sniffers_[3]->cs_edges.empty());
+}
+
+TEST_F(MediumTest, TransmitterSensesOwnTx) {
+  EXPECT_FALSE(medium_->carrier_busy(ap0_));
+  medium_->transmit(data(ap0_, c0_));
+  EXPECT_TRUE(medium_->carrier_busy(ap0_));
+  EXPECT_TRUE(medium_->transmitting(ap0_));
+  sim_.run();
+  EXPECT_FALSE(medium_->carrier_busy(ap0_));
+}
+
+TEST_F(MediumTest, NavHoldsVirtualCarrier) {
+  Frame f = data(ap0_, c0_);
+  f.nav = usec(200);
+  medium_->transmit(f);
+  sim_.run_until(usec(150));
+  EXPECT_FALSE(medium_->carrier_busy(c0_));
+  EXPECT_TRUE(medium_->virtual_busy(c0_));
+  sim_.run_until(usec(400));
+  EXPECT_FALSE(medium_->virtual_busy(c0_));
+}
+
+TEST_F(MediumTest, RopResponsesMutuallyOrthogonal) {
+  Frame r1;
+  r1.type = FrameType::kRopResponse;
+  r1.src = c0_;
+  r1.dst = ap0_;
+  r1.duration = usec(16);
+  Frame r2 = r1;
+  r2.src = c1_;
+  r2.dst = ap1_;
+  medium_->transmit(r1);
+  medium_->transmit(r2);
+  sim_.run();
+  // Both decode: subchannel orthogonality excludes them from each other's
+  // interference even though c1 would otherwise interfere at ap0... (c1 is
+  // faint at ap0 anyway; the key assertion is both decode cleanly).
+  bool ok0 = false, ok1 = false;
+  for (const auto& rx : sniffers_[0]->heard) {
+    if (rx.frame.type == FrameType::kRopResponse) ok0 = rx.info.decoded;
+  }
+  for (const auto& rx : sniffers_[2]->heard) {
+    if (rx.frame.type == FrameType::kRopResponse) ok1 = rx.info.decoded;
+  }
+  EXPECT_TRUE(ok0);
+  EXPECT_TRUE(ok1);
+}
+
+TEST_F(MediumTest, FrameCountersTrack) {
+  medium_->transmit(data(ap0_, c0_));
+  medium_->transmit(data(ap1_, c1_));
+  sim_.run();
+  EXPECT_EQ(medium_->frames_sent(FrameType::kData), 2u);
+  EXPECT_EQ(medium_->frames_sent(FrameType::kAck), 0u);
+}
+
+// ---- Signature detection model -------------------------------------------
+
+TEST(SignatureModel, PaperShape) {
+  SignatureDetectionModel m;
+  // Figure 9: ~100% through 4 combined signatures, declining beyond.
+  for (int n = 1; n <= 4; ++n) {
+    EXPECT_GE(m.detect_probability(n, 0.0), 0.99) << n;
+  }
+  EXPECT_LT(m.detect_probability(5, 0.0), 0.99);
+  EXPECT_GT(m.detect_probability(5, 0.0), m.detect_probability(6, 0.0));
+  EXPECT_GT(m.detect_probability(6, 0.0), m.detect_probability(7, 0.0));
+  EXPECT_GT(m.detect_probability(7, 0.0), m.detect_probability(9, 0.0));
+}
+
+TEST(SignatureModel, ProcessingGainBelowDecodeThreshold) {
+  SignatureDetectionModel m;
+  // Signatures survive far below packet-decode SINR...
+  EXPECT_GE(m.detect_probability(1, -9.0), 0.99);
+  // ...but roll off toward the correlation-gain floor.
+  EXPECT_LT(m.detect_probability(1, -18.0), 0.5);
+  EXPECT_EQ(m.detect_probability(1, -25.0), 0.0);
+}
+
+TEST(SignatureModel, ZeroCountNeverDetects) {
+  SignatureDetectionModel m;
+  EXPECT_EQ(m.detect_probability(0, 10.0), 0.0);
+}
+
+TEST(SignatureModel, FalsePositiveRateSampled) {
+  SignatureDetectionModel m;
+  Rng rng(55);
+  int fp = 0;
+  for (int i = 0; i < 20000; ++i) {
+    if (m.sample_false_positive(rng)) ++fp;
+  }
+  EXPECT_NEAR(fp / 20000.0, m.false_positive_rate, 0.003);
+  EXPECT_LT(fp / 20000.0, 0.01);  // "below 1% all the time"
+}
+
+}  // namespace
+}  // namespace dmn::phy

@@ -1,0 +1,135 @@
+// Property-style parameterized sweeps over random topologies and seeds:
+// invariants that must hold regardless of the draw.
+
+#include <gtest/gtest.h>
+
+#include "api/experiment.h"
+#include "domino/rand_scheduler.h"
+#include "topo/conflict_graph.h"
+#include "topo/topology.h"
+#include "topo/trace_synth.h"
+
+namespace dmn {
+namespace {
+
+// ---- Conflict-graph invariants over random trace draws ---------------------
+
+class ConflictGraphProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConflictGraphProperty, SymmetricAndAckImpliesSuperset) {
+  Rng rng(GetParam());
+  const auto trace = topo::synthesize_trace({}, rng);
+  const auto t = topo::Topology::build_tmn(trace.rss, 6, 2, {}, rng);
+  const auto links = t.make_links(true, true);
+  const auto g = topo::ConflictGraph::build(t, links);
+  for (std::size_t i = 0; i < g.num_links(); ++i) {
+    for (std::size_t j = 0; j < g.num_links(); ++j) {
+      const auto a = static_cast<topo::LinkId>(i);
+      const auto b = static_cast<topo::LinkId>(j);
+      EXPECT_EQ(g.conflicts(a, b), g.conflicts(b, a));
+      // Full rule is a superset of the data-only rule.
+      if (g.data_conflicts(a, b)) EXPECT_TRUE(g.conflicts(a, b));
+    }
+  }
+}
+
+TEST_P(ConflictGraphProperty, RandSlotsAlwaysIndependent) {
+  Rng rng(GetParam() * 7 + 1);
+  const auto trace = topo::synthesize_trace({}, rng);
+  const auto t = topo::Topology::build_tmn(trace.rss, 6, 2, {}, rng);
+  const auto links = t.make_links(true, true);
+  const auto g = topo::ConflictGraph::build(t, links);
+  domino::RandScheduler rand(g);
+  std::vector<std::size_t> demand(g.num_links());
+  for (auto& d : demand) d = rng.uniform_int(0, 5);
+  for (int round = 0; round < 20; ++round) {
+    const auto slot = rand.schedule_slot(demand);
+    EXPECT_TRUE(g.is_independent(slot));
+    for (topo::LinkId l : slot) {
+      EXPECT_GT(demand[static_cast<std::size_t>(l)], 0u);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConflictGraphProperty,
+                         ::testing::Range(1, 9));
+
+// ---- End-to-end conservation properties ------------------------------------
+
+struct SweepCase {
+  api::Scheme scheme;
+  std::uint64_t seed;
+};
+
+class ConservationProperty
+    : public ::testing::TestWithParam<std::tuple<api::Scheme, int>> {};
+
+TEST_P(ConservationProperty, DeliveredNeverExceedsOfferedAndDelayPositive) {
+  const auto [scheme, seed] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(seed));
+  const auto trace = topo::synthesize_trace({}, rng);
+  const auto t = topo::Topology::build_tmn(trace.rss, 4, 2, {}, rng);
+
+  api::ExperimentConfig cfg;
+  cfg.scheme = scheme;
+  cfg.seed = static_cast<std::uint64_t>(seed);
+  cfg.duration = msec(400);
+  cfg.traffic.downlink_bps = 4e6;
+  cfg.traffic.uplink_bps = 2e6;
+  const auto r = api::run_experiment(t, cfg);
+
+  for (const auto& l : r.links) {
+    // Rate-limited sources: goodput can never exceed the offered rate by
+    // more than one packet of rounding.
+    const double offered = l.uplink ? 2e6 : 4e6;
+    EXPECT_LE(l.throughput_bps, offered * 1.05) << to_string(scheme);
+    if (l.delivered > 0) {
+      // Delay is at least one frame airtime (384 us at 12 Mbps).
+      EXPECT_GE(l.mean_delay_us, 380.0);
+    }
+  }
+  EXPECT_GE(r.jain_fairness, 0.0);
+  EXPECT_LE(r.jain_fairness, 1.000001);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, ConservationProperty,
+    ::testing::Combine(::testing::Values(api::Scheme::kDcf,
+                                         api::Scheme::kCentaur,
+                                         api::Scheme::kDomino,
+                                         api::Scheme::kOmniscient),
+                       ::testing::Values(11, 22, 33)));
+
+// ---- DOMINO-vs-DCF dominance on hidden-heavy topologies --------------------
+
+class DominanceProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(DominanceProperty, DominoAtLeastCompetitiveOnSaturatedTmn) {
+  Rng rng(GetParam() * 131);
+  const auto trace = topo::synthesize_trace({}, rng);
+  const auto t = topo::Topology::build_tmn(trace.rss, 5, 2, {}, rng);
+
+  api::ExperimentConfig cfg;
+  cfg.seed = static_cast<std::uint64_t>(GetParam());
+  cfg.duration = sec(1);
+  cfg.traffic.saturate_downlink = true;
+
+  cfg.scheme = api::Scheme::kDcf;
+  const auto dcf = api::run_experiment(t, cfg);
+  cfg.scheme = api::Scheme::kDomino;
+  const auto dom = api::run_experiment(t, cfg);
+  cfg.scheme = api::Scheme::kOmniscient;
+  const auto omni = api::run_experiment(t, cfg);
+
+  // DOMINO must stay within a modest factor of DCF at worst (scheduling
+  // overhead), and never beat the genie.
+  EXPECT_GT(dom.aggregate_throughput_bps,
+            0.75 * dcf.aggregate_throughput_bps);
+  EXPECT_LE(dom.aggregate_throughput_bps,
+            1.02 * omni.aggregate_throughput_bps);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DominanceProperty, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace dmn

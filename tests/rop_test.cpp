@@ -1,0 +1,292 @@
+// Unit tests: ROP — Table 1 parameters, the Figure 3 subcarrier map, the
+// signal-level OFDM polling PHY (Figures 5/6 behaviours) and the protocol
+// pieces (queue-report codec, subchannel allocator, MAC-level link model).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "rop/params.h"
+#include "rop/rop_phy.h"
+#include "rop/rop_protocol.h"
+#include "rop/subchannel_map.h"
+#include "util/rng.h"
+
+namespace dmn::rop {
+namespace {
+
+TEST(RopParams, Table1Defaults) {
+  RopParams p;
+  EXPECT_EQ(p.fft_size, 256u);
+  EXPECT_EQ(p.data_per_subchannel, 6u);
+  EXPECT_EQ(p.guard_per_subchannel, 3u);
+  EXPECT_EQ(p.num_subchannels, 24u);
+  EXPECT_EQ(p.cp_samples, 64u);                    // 3.2 us at 20 MHz
+  EXPECT_EQ(p.max_queue_report(), 63u);            // 2^6 - 1
+  EXPECT_EQ(p.symbol_duration(), usec(16));        // Table 1 symbol time
+}
+
+TEST(SubchannelMap, AllBinsDisjointAndDcUnused) {
+  RopParams p;
+  SubchannelMap map(p);
+  std::set<std::size_t> used;
+  for (std::size_t sc = 0; sc < p.num_subchannels; ++sc) {
+    for (std::size_t b : map.data_bins(sc)) {
+      EXPECT_TRUE(used.insert(b).second) << "bin reused: " << b;
+      EXPECT_NE(b, 0u) << "DC subcarrier must stay unused";
+    }
+    for (std::size_t b : map.guard_bins(sc)) {
+      EXPECT_TRUE(used.insert(b).second);
+      EXPECT_NE(b, 0u);
+    }
+  }
+  // 24 x (6 + 3) bins used; remainder (39) plus DC form the guard band.
+  EXPECT_EQ(used.size(), 24u * 9u);
+}
+
+TEST(SubchannelMap, EdgeGuardBandMatchesFigure3) {
+  RopParams p;
+  SubchannelMap map(p);
+  std::set<std::size_t> used;
+  used.insert(0);  // DC
+  for (std::size_t sc = 0; sc < p.num_subchannels; ++sc) {
+    for (std::size_t b : map.data_bins(sc)) used.insert(b);
+    for (std::size_t b : map.guard_bins(sc)) used.insert(b);
+  }
+  EXPECT_EQ(p.fft_size - used.size(), 39u);  // "39 subcarriers guard band"
+}
+
+TEST(SubchannelMap, SplitsAcrossSpectrumHalves) {
+  RopParams p;
+  SubchannelMap map(p);
+  // Subchannels 0..11 on positive bins, 12..23 on negative (wrapped) bins.
+  EXPECT_LT(map.data_bin(0, 0), p.fft_size / 2);
+  EXPECT_GT(map.data_bin(12, 0), p.fft_size / 2);
+}
+
+TEST(SubchannelMap, AdjacentDistanceEqualsGuardPlusOne) {
+  RopParams p;
+  SubchannelMap map(p);
+  // Neighbouring subchannels on the same side: nearest data bins are
+  // separated by guard+1 bins.
+  EXPECT_EQ(map.bin_distance(0, 1), p.guard_per_subchannel + 1);
+}
+
+TEST(QueueReport, EncodeCapsAt63) {
+  RopParams p;
+  EXPECT_EQ(encode_queue(0, p).reported, 0u);
+  EXPECT_EQ(encode_queue(63, p).reported, 63u);
+  const auto r = encode_queue(100, p);
+  EXPECT_EQ(r.reported, 63u);
+  EXPECT_EQ(r.unreported, 37u);  // "keep track of unreported packets"
+}
+
+TEST(Allocator, SortsByRssForAdjacency) {
+  RopParams p;
+  SubchannelAllocator alloc(p);
+  const std::vector<topo::NodeId> clients = {10, 11, 12};
+  const std::vector<double> rss = {-80.0, -50.0, -65.0};
+  const auto out = alloc.assign(clients, rss);
+  ASSERT_EQ(out.size(), 3u);
+  // Strongest client gets subchannel 0; order follows descending RSS.
+  EXPECT_EQ(out[0].client, 11);
+  EXPECT_EQ(out[1].client, 12);
+  EXPECT_EQ(out[2].client, 10);
+  EXPECT_EQ(out[0].subchannel, 0u);
+}
+
+TEST(Allocator, InsertsGapAboveTolerance) {
+  RopParams p;
+  SubchannelAllocator alloc(p);
+  const std::vector<topo::NodeId> clients = {1, 2};
+  const std::vector<double> rss = {-30.0, -75.0};  // 45 dB apart > 38
+  const auto out = alloc.assign(clients, rss);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_GE(out[1].subchannel - out[0].subchannel, 2u);  // gap inserted
+}
+
+TEST(Allocator, SplitsIntoRoundsBeyond24) {
+  RopParams p;
+  SubchannelAllocator alloc(p);
+  std::vector<topo::NodeId> clients;
+  std::vector<double> rss;
+  for (int i = 0; i < 30; ++i) {
+    clients.push_back(i);
+    rss.push_back(-60.0 - i * 0.1);
+  }
+  const auto out = alloc.assign(clients, rss);
+  ASSERT_EQ(out.size(), 30u);
+  std::size_t round1 = 0;
+  for (const auto& a : out) {
+    if (a.round == 1) ++round1;
+    EXPECT_LT(a.subchannel, 24u);
+  }
+  EXPECT_EQ(round1, 6u);  // 30 - 24 overflow into the second poll round
+}
+
+TEST(LinkModel, ToleranceGrowsWithSeparationAndSaturates) {
+  RopLinkModel model{RopParams{}};
+  EXPECT_LT(model.tolerance_db(1), model.tolerance_db(2));
+  EXPECT_LT(model.tolerance_db(2), model.tolerance_db(4));
+  // Paper's design point: 3 guard subcarriers (distance 4) -> ~38 dB.
+  EXPECT_NEAR(model.tolerance_db(4), 38.0, 1.0);
+  // Hardware floor caps it.
+  EXPECT_EQ(model.tolerance_db(10), model.tolerance_db(20));
+}
+
+TEST(LinkModel, SnrGateAtFourDb) {
+  RopLinkModel model{RopParams{}};
+  // -94 noise floor: -89 dBm is 5 dB SNR (pass), -91 is 3 dB (fail).
+  EXPECT_TRUE(model.report_decodes(0, -89.0, {}, -94.0, 0.0));
+  EXPECT_FALSE(model.report_decodes(0, -91.0, {}, -94.0, 0.0));
+}
+
+TEST(LinkModel, StrongNeighborMasksWeakClient) {
+  RopLinkModel model{RopParams{}};
+  // Adjacent subchannel 40 dB stronger: beyond the 38 dB tolerance.
+  std::vector<RopLinkModel::CoClient> co = {{1, -20.0}};
+  EXPECT_FALSE(model.report_decodes(0, -60.0, co, -94.0, 0.0));
+  // 30 dB stronger: within tolerance.
+  co[0].rss_dbm = -30.0;
+  EXPECT_TRUE(model.report_decodes(0, -60.0, co, -94.0, 0.0));
+  // Weaker neighbours never mask.
+  co[0].rss_dbm = -80.0;
+  EXPECT_TRUE(model.report_decodes(0, -60.0, co, -94.0, 0.0));
+}
+
+TEST(LinkModel, ExternalInterferenceFoldsIntoSnr) {
+  RopLinkModel model{RopParams{}};
+  // Strong client, but a jammer at -60 dBm leaves < 4 dB SINR.
+  EXPECT_FALSE(model.report_decodes(0, -58.0, {}, -94.0, dbm_to_mw(-60.0)));
+}
+
+// ---- Signal-level PHY (the Figures 5/6 behaviours) -----------------------
+
+class RopPhyTest : public ::testing::Test {
+ protected:
+  RopParams params_;
+  RopPhy phy_{params_};
+  RopImpairments imp_;
+  Rng rng_{99};
+};
+
+TEST_F(RopPhyTest, SingleClientRoundTrip) {
+  for (unsigned q : {1u, 7u, 42u, 63u}) {
+    ClientSignal cs;
+    cs.subchannel = 3;
+    cs.queue_report = q;
+    cs.rss_dbm = -55.0;
+    EXPECT_TRUE(phy_.round_trip_ok({&cs, 1}, imp_, rng_)) << "q=" << q;
+  }
+}
+
+TEST_F(RopPhyTest, AllTwentyFourClientsSimultaneously) {
+  std::vector<ClientSignal> clients;
+  for (std::size_t sc = 0; sc < 24; ++sc) {
+    ClientSignal cs;
+    cs.subchannel = sc;
+    cs.queue_report = static_cast<unsigned>((sc * 7 + 1) % 64);
+    if (cs.queue_report == 0) cs.queue_report = 1;
+    cs.rss_dbm = -55.0 - static_cast<double>(sc % 5);
+    cs.freq_offset_subcarriers = 0.01;
+    cs.timing_offset_samples = sc % 8;
+    clients.push_back(cs);
+  }
+  EXPECT_TRUE(phy_.round_trip_ok(clients, imp_, rng_));
+}
+
+TEST_F(RopPhyTest, TimingOffsetWithinCpTolerated) {
+  ClientSignal cs;
+  cs.subchannel = 5;
+  cs.queue_report = 33;
+  cs.rss_dbm = -60.0;
+  cs.timing_offset_samples = params_.cp_samples - 4;  // near the CP edge
+  EXPECT_TRUE(phy_.round_trip_ok({&cs, 1}, imp_, rng_));
+}
+
+TEST_F(RopPhyTest, BelowSnrGateSilent) {
+  ClientSignal cs;
+  cs.subchannel = 5;
+  cs.queue_report = 33;
+  // Far below the per-bin detection floor (the FFT concentrates a
+  // subchannel's power into 6 of 256 bins, so the wideband 4 dB SNR gate
+  // corresponds to a much lower total-power floor here).
+  cs.rss_dbm = -120.0;
+  const auto rx = phy_.synthesize({&cs, 1}, imp_, rng_);
+  const auto dec = phy_.decode(rx, imp_);
+  EXPECT_FALSE(dec.values[5].has_value());
+}
+
+TEST_F(RopPhyTest, EqualPowerAdjacentSubchannelsFigure5a) {
+  // Figure 5(a): similar RSS on adjacent subchannels decodes cleanly even
+  // though they are neighbours.
+  ClientSignal a, b;
+  a.subchannel = 2;
+  a.queue_report = 63;  // 111111
+  a.rss_dbm = -55.0;
+  a.freq_offset_subcarriers = 0.01;
+  b.subchannel = 3;
+  b.queue_report = 62;  // 011111 (paper's pattern with one zero bit)
+  b.rss_dbm = -55.5;
+  b.freq_offset_subcarriers = -0.01;
+  std::vector<ClientSignal> cs = {a, b};
+  int ok = 0;
+  for (int t = 0; t < 20; ++t) ok += phy_.round_trip_ok(cs, imp_, rng_);
+  EXPECT_GE(ok, 19);
+}
+
+TEST_F(RopPhyTest, ThirtyDbMismatchNeedsGuard) {
+  // Figure 5(b)/(c): 30 dB RSS mismatch corrupts the weak neighbour
+  // without guards; the standard 3-guard layout survives it.
+  ClientSignal strong, weak;
+  strong.subchannel = 2;
+  strong.queue_report = 63;
+  strong.rss_dbm = -30.0;
+  strong.freq_offset_subcarriers = 0.01;  // realistic residual CFO
+  weak.subchannel = 3;
+  weak.queue_report = 21;  // 010101: zero bits expose leakage corruption
+  weak.rss_dbm = -60.0;
+  weak.freq_offset_subcarriers = -0.01;
+  std::vector<ClientSignal> cs = {strong, weak};
+
+  int ok_guarded = 0;
+  for (int t = 0; t < 20; ++t) ok_guarded += phy_.round_trip_ok(cs, imp_, rng_);
+  EXPECT_GE(ok_guarded, 18) << "3 guard bins must survive 30 dB";
+
+  // Zero-guard layout: the leakage lands directly on the weak client.
+  RopParams p0 = params_;
+  p0.guard_per_subchannel = 0;
+  RopPhy phy0(p0);
+  int ok_unguarded = 0;
+  for (int t = 0; t < 20; ++t) {
+    ok_unguarded += phy0.round_trip_ok(cs, imp_, rng_);
+  }
+  EXPECT_LT(ok_unguarded, ok_guarded);
+}
+
+TEST_F(RopPhyTest, ExtremeMismatchFailsEvenWithGuards) {
+  // Beyond the ~38-42 dB hardware floor even 3 guards cannot help; the
+  // allocator's non-adjacent assignment is the paper's answer there.
+  ClientSignal strong, weak;
+  strong.subchannel = 2;
+  strong.queue_report = 63;
+  strong.rss_dbm = -20.0;
+  strong.freq_offset_subcarriers = 0.01;
+  weak.subchannel = 3;
+  weak.queue_report = 21;  // zero bits expose leakage corruption
+  weak.rss_dbm = -70.0;  // 50 dB apart
+  std::vector<ClientSignal> cs = {strong, weak};
+  int ok = 0;
+  for (int t = 0; t < 20; ++t) ok += phy_.round_trip_ok(cs, imp_, rng_);
+  EXPECT_LT(ok, 10);
+}
+
+TEST(RopProtocol, ExchangeDurationCoversAllPhases) {
+  RopParams p;
+  const TimeNs d = rop_exchange_duration(p, usec(84), usec(9));
+  EXPECT_GT(d, usec(84) + usec(9) + usec(16));
+  EXPECT_LT(d, usec(150));
+}
+
+}  // namespace
+}  // namespace dmn::rop

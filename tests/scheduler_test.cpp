@@ -1,0 +1,406 @@
+// Unit tests: RAND greedy scheduler, the schedule converter (§3.3 — fake
+// links, trigger budgets, batch connection, ROP insertion), the omniscient
+// genie, and CENTAUR's batch machinery.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "centaur/centaur.h"
+#include "domino/converter.h"
+#include "domino/rand_scheduler.h"
+#include "domino/signature_plan.h"
+#include "mac/dcf.h"
+#include "omni/omniscient.h"
+#include "topo/conflict_graph.h"
+#include "topo/topology.h"
+#include "topo/trace_synth.h"
+#include "wired/backbone.h"
+
+namespace dmn {
+namespace {
+
+/// Figure 7's four AP-client pairs: cells 1&2 interfere, cells 3&4
+/// interfere, and the two halves are disjoint — the paper's two-chain
+/// example.
+topo::Topology fig7_topology() {
+  topo::ManualTopologyBuilder b;
+  const auto ap1 = b.add_ap();   // 0
+  const auto ap2 = b.add_ap();   // 1
+  const auto ap3 = b.add_ap();   // 2
+  const auto ap4 = b.add_ap();   // 3
+  const auto c1 = b.add_client(ap1);  // 4
+  const auto c2 = b.add_client(ap2);  // 5
+  const auto c3 = b.add_client(ap3);  // 6
+  const auto c4 = b.add_client(ap4);  // 7
+  b.interfere(ap1, c2).interfere(ap2, c1);  // cells 1-2 conflict
+  b.interfere(ap3, c4).interfere(ap4, c3);  // cells 3-4 conflict
+  b.sense(ap1, ap2).sense(ap3, ap4);
+  b.sense(c1, c2).sense(c3, c4);
+  (void)c1; (void)c2; (void)c3; (void)c4;
+  return b.build();
+}
+
+class SchedulerTest : public ::testing::Test {
+ protected:
+  SchedulerTest()
+      : topo_(fig7_topology()),
+        links_(topo_.make_links(true, true)),
+        graph_(topo::ConflictGraph::build(topo_, links_)) {}
+
+  std::size_t find(topo::NodeId s, topo::NodeId r) const {
+    return static_cast<std::size_t>(graph_.find({s, r}));
+  }
+
+  topo::Topology topo_;
+  std::vector<topo::Link> links_;
+  topo::ConflictGraph graph_;
+};
+
+TEST_F(SchedulerTest, SlotIsIndependentAndDemandGated) {
+  domino::RandScheduler rand(graph_);
+  std::vector<std::size_t> demand(graph_.num_links(), 0);
+  demand[find(0, 4)] = 5;  // AP1->C1
+  demand[find(1, 5)] = 5;  // AP2->C2 (conflicts with AP1->C1)
+  demand[find(2, 6)] = 5;  // AP3->C3
+  const auto slot = rand.schedule_slot(demand);
+  EXPECT_TRUE(graph_.is_independent(slot));
+  for (topo::LinkId l : slot) {
+    EXPECT_GT(demand[static_cast<std::size_t>(l)], 0u);
+  }
+  // AP1->C1 and AP2->C2 cannot both be in; AP3->C3 is independent of both.
+  EXPECT_EQ(slot.size(), 2u);
+}
+
+TEST_F(SchedulerTest, RotationAlternatesConflictingLinks) {
+  domino::RandScheduler rand(graph_);
+  std::vector<std::size_t> demand(graph_.num_links(), 0);
+  demand[find(0, 4)] = 100;
+  demand[find(1, 5)] = 100;
+  std::set<topo::LinkId> seen_first;
+  for (int i = 0; i < 4; ++i) {
+    const auto slot = rand.schedule_slot(demand);
+    ASSERT_FALSE(slot.empty());
+    seen_first.insert(slot.front());
+  }
+  EXPECT_EQ(seen_first.size(), 2u) << "fairness rotation must alternate";
+}
+
+TEST_F(SchedulerTest, BatchConsumesDemand) {
+  domino::RandScheduler rand(graph_);
+  std::vector<std::size_t> demand(graph_.num_links(), 0);
+  demand[find(0, 4)] = 2;
+  const auto batch = rand.schedule_batch(demand, 10);
+  int scheduled = 0;
+  for (const auto& slot : batch) {
+    for (topo::LinkId l : slot) {
+      if (static_cast<std::size_t>(l) == find(0, 4)) ++scheduled;
+    }
+  }
+  EXPECT_EQ(scheduled, 2) << "demand of 2 packets -> exactly 2 slots";
+}
+
+// ---- Converter ------------------------------------------------------------
+
+class ConverterTest : public SchedulerTest {
+ protected:
+  ConverterTest() : signatures_(topo_.num_nodes()) {}
+
+  domino::RelativeSchedule convert_simple(
+      const std::vector<std::vector<topo::LinkId>>& strict,
+      const std::vector<topo::NodeId>& rop = {}) {
+    domino::ScheduleConverter conv(topo_, graph_, signatures_);
+    return conv.convert(strict, {}, rop, 1, 0);
+  }
+
+  domino::SignaturePlan signatures_;
+};
+
+TEST_F(ConverterTest, FakeInsertionMakesMaximalCover) {
+  const auto rs = convert_simple({{static_cast<topo::LinkId>(find(0, 4))}});
+  ASSERT_EQ(rs.slots.size(), 2u);  // overlap + 1
+  const auto& slot = rs.slots[1];
+  EXPECT_GT(slot.entries.size(), 1u) << "fake links must fill the slot";
+  bool has_fake = false;
+  std::vector<topo::LinkId> ids;
+  for (const auto& e : slot.entries) {
+    ids.push_back(e.link);
+    has_fake = has_fake || e.fake;
+  }
+  EXPECT_TRUE(has_fake);
+  // All entries pairwise data-conflict-free.
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i + 1; j < ids.size(); ++j) {
+      EXPECT_FALSE(graph_.data_conflicts(ids[i], ids[j]));
+    }
+  }
+}
+
+TEST_F(ConverterTest, FakeInsertionDisabledByKnob) {
+  domino::ConverterParams params;
+  params.insert_fake_links = false;
+  domino::ScheduleConverter conv(topo_, graph_, signatures_, params);
+  const auto rs = conv.convert({{static_cast<topo::LinkId>(find(0, 4))}},
+                               {}, {}, 1, 0);
+  EXPECT_EQ(rs.slots[1].entries.size(), 1u);
+}
+
+TEST_F(ConverterTest, TriggerBudgetsRespected) {
+  // Alternate the two conflicting pairs over several slots and check the
+  // inbound (<=2) / outbound (<=4) budgets on every boundary.
+  std::vector<std::vector<topo::LinkId>> strict;
+  for (int i = 0; i < 6; ++i) {
+    if (i % 2 == 0) {
+      strict.push_back({static_cast<topo::LinkId>(find(0, 4)),
+                        static_cast<topo::LinkId>(find(2, 6))});
+    } else {
+      strict.push_back({static_cast<topo::LinkId>(find(1, 5)),
+                        static_cast<topo::LinkId>(find(3, 7))});
+    }
+  }
+  const auto rs = convert_simple(strict);
+  for (const auto& slot : rs.slots) {
+    std::map<topo::NodeId, int> inbound, outbound;
+    for (const auto& t : slot.triggers) {
+      ++inbound[t.target];
+      if (t.via != t.target && !t.continuation) ++outbound[t.via];
+    }
+    for (const auto& [n, c] : inbound) {
+      EXPECT_LE(c, 2) << "inbound budget at node " << n;
+    }
+    for (const auto& [n, c] : outbound) {
+      EXPECT_LE(c, 4) << "outbound budget at node " << n;
+    }
+  }
+}
+
+TEST_F(ConverterTest, FirstBatchFirstSlotSurvivesWithoutTriggers) {
+  const auto rs = convert_simple({{static_cast<topo::LinkId>(find(0, 4))}});
+  EXPECT_TRUE(rs.slots[0].entries.empty());
+  EXPECT_TRUE(rs.slots[0].triggers.empty());
+  EXPECT_FALSE(rs.slots[1].entries.empty());
+}
+
+TEST_F(ConverterTest, BatchConnectionCarriesOverlapSlot) {
+  domino::ScheduleConverter conv(topo_, graph_, signatures_);
+  const auto rs1 = conv.convert({{static_cast<topo::LinkId>(find(0, 4))}},
+                                {}, {}, 1, 0);
+  const auto& last = rs1.slots.back();
+  const auto rs2 = conv.convert({{static_cast<topo::LinkId>(find(1, 5))}},
+                                last.entries, {}, 2, last.global_index);
+  // Overlap slot repeats the previous batch's last entries and now carries
+  // triggers into the new batch.
+  ASSERT_EQ(rs2.slots[0].global_index, last.global_index);
+  EXPECT_EQ(rs2.slots[0].entries.size(), last.entries.size());
+  EXPECT_FALSE(rs2.slots[0].triggers.empty());
+}
+
+TEST_F(ConverterTest, RopInsertionSkipsOverlapBoundaryAndShares) {
+  std::vector<std::vector<topo::LinkId>> strict(4);
+  const auto rs = convert_simple(strict, {0, 1, 2, 3});
+  // No poll on the overlap boundary.
+  EXPECT_FALSE(rs.slots[0].rop_after);
+  // Every requested AP placed somewhere.
+  std::set<topo::NodeId> polled;
+  for (const auto& slot : rs.slots) {
+    if (slot.rop_after) EXPECT_FALSE(slot.rop_aps.empty());
+    for (topo::NodeId ap : slot.rop_aps) {
+      EXPECT_TRUE(polled.insert(ap).second) << "AP polled twice";
+    }
+  }
+  EXPECT_EQ(polled.size(), 4u);
+  // Sharing rule: co-polling APs have no conflicting links.
+  domino::ScheduleConverter conv(topo_, graph_, signatures_);
+  for (const auto& slot : rs.slots) {
+    for (std::size_t i = 0; i < slot.rop_aps.size(); ++i) {
+      for (std::size_t j = i + 1; j < slot.rop_aps.size(); ++j) {
+        // Cells 1&2 conflict; 3&4 conflict. Valid co-poll sets pair across
+        // the halves only.
+        const auto a = slot.rop_aps[i];
+        const auto b2 = slot.rop_aps[j];
+        const bool same_half = (a <= 1 && b2 <= 1) || (a >= 2 && b2 >= 2);
+        EXPECT_FALSE(same_half)
+            << "conflicting APs " << a << "," << b2 << " share an ROP slot";
+      }
+    }
+  }
+}
+
+TEST_F(ConverterTest, ApPlansCoverRolesAndCodes) {
+  std::vector<std::vector<topo::LinkId>> strict = {
+      {static_cast<topo::LinkId>(find(0, 4)),
+       static_cast<topo::LinkId>(find(2, 6))},
+      {static_cast<topo::LinkId>(find(4, 0)),
+       static_cast<topo::LinkId>(find(6, 2))},
+  };
+  domino::ScheduleConverter conv(topo_, graph_, signatures_);
+  const auto rs = conv.convert(strict, {}, {}, 1, 0);
+  const auto plans = conv.make_ap_plans(rs);
+  std::map<topo::NodeId, const domino::ApSchedule*> by_ap;
+  for (const auto& p : plans) by_ap[p.ap] = &p;
+  ASSERT_TRUE(by_ap.count(0));
+  bool saw_tx = false, saw_rx = false;
+  for (const auto& row : by_ap[0]->slots) {
+    if (row.role == domino::ApSlotPlan::Role::kTxData) {
+      saw_tx = true;
+      EXPECT_EQ(row.peer, 4);
+    }
+    if (row.role == domino::ApSlotPlan::Role::kRxData) saw_rx = true;
+  }
+  EXPECT_TRUE(saw_tx);
+  EXPECT_TRUE(saw_rx);
+  // Every AP plan shares the same rop boundary list (lattice consistency).
+  for (const auto& p : plans) {
+    EXPECT_EQ(p.rop_boundaries, plans.front().rop_boundaries);
+    EXPECT_EQ(p.batch_first_slot, 1u);
+  }
+}
+
+TEST(SignaturePlanTest, AssignsUniqueCodesAndRejectsOverflow) {
+  domino::SignaturePlan plan(10);
+  std::set<std::size_t> codes;
+  for (topo::NodeId n = 0; n < 10; ++n) {
+    EXPECT_TRUE(codes.insert(plan.code_of(n)).second);
+    EXPECT_EQ(plan.node_of(plan.code_of(n)), n);
+  }
+  EXPECT_THROW(domino::SignaturePlan(200), std::invalid_argument);
+  EXPECT_EQ(domino::SignaturePlan::start_code(), 127u);
+  EXPECT_EQ(domino::SignaturePlan::rop_code(), 128u);
+}
+
+// ---- Omniscient genie ------------------------------------------------------
+
+TEST(Omniscient, SaturatedPairNearsSlotRate) {
+  topo::ManualTopologyBuilder b;
+  const auto ap = b.add_ap();
+  b.add_client(ap);
+  auto topo = b.build();
+  sim::Simulator sim;
+  phy::Medium medium(sim, topo);
+  const auto links = topo.make_links(true, false);
+  auto graph = topo::ConflictGraph::build(topo, links);
+  int delivered = 0;
+  std::vector<std::unique_ptr<omni::OmniNodeMac>> nodes;
+  std::vector<omni::OmniNodeMac*> raw;
+  mac::WifiParams omni_params;
+  omni_params.queue_capacity = 1000;
+  for (const topo::Node& n : topo.nodes()) {
+    nodes.push_back(std::make_unique<omni::OmniNodeMac>(
+        sim, medium, n.id, omni_params,
+        [&](const traffic::Packet&, topo::NodeId, TimeNs) { ++delivered; }));
+    raw.push_back(nodes.back().get());
+  }
+  omni::OmniscientScheduler sched(sim, medium, graph, {}, raw);
+  for (int i = 0; i < 300; ++i) {
+    traffic::Packet p;
+    p.id = static_cast<traffic::PacketId>(i + 1);
+    p.flow = 0;
+    p.src = ap;
+    p.dst = 1;
+    nodes[0]->enqueue(p);
+  }
+  sched.start(0);
+  sim.run_until(msec(100));
+  // Slot = 384 + 10 us -> ~253 packets/100ms; 300 offered, most delivered.
+  EXPECT_GT(delivered, 240);
+}
+
+// ---- CENTAUR ---------------------------------------------------------------
+
+TEST(Centaur, BatchBarrierWaitsForSlowestAp) {
+  // Figure 13(b): AP3 (here ap_slow) shares the medium with two free APs;
+  // the barrier makes everyone wait for it.
+  topo::ManualTopologyBuilder b;
+  const auto a0 = b.add_ap();
+  const auto a1 = b.add_ap();
+  const auto a2 = b.add_ap();
+  b.add_client(a0);  // 3
+  b.add_client(a1);  // 4
+  b.add_client(a2);  // 5
+  // a2 hears both others (defers constantly); a0 and a1 are mutually free.
+  b.sense(a0, a2);
+  b.sense(a1, a2);
+  auto topo = b.build();
+
+  sim::Simulator sim;
+  phy::Medium medium(sim, topo);
+  std::map<int, int> delivered;
+  std::vector<std::unique_ptr<mac::DcfNode>> nodes;
+  std::map<topo::NodeId, mac::DcfNode*> aps;
+  for (const topo::Node& n : topo.nodes()) {
+    nodes.push_back(std::make_unique<mac::DcfNode>(
+        sim, medium, n.id, mac::WifiParams{}, Rng(1 + n.id),
+        [&](const traffic::Packet& p, topo::NodeId at, TimeNs) {
+          if (at == p.dst) ++delivered[p.flow];
+        }));
+    if (topo.node(n.id).is_ap) aps[n.id] = nodes.back().get();
+  }
+  const auto dl = topo.make_links(true, false);
+  auto graph = topo::ConflictGraph::build(topo, dl);
+  wired::Backbone backbone(sim, {}, Rng(77));
+  centaur::CentaurController ctrl(sim, backbone, graph, {}, aps);
+
+  traffic::PacketId next = 0;
+  auto offer = [&](topo::NodeId src, topo::NodeId dst, int flow, int n) {
+    for (int i = 0; i < n; ++i) {
+      traffic::Packet p;
+      p.id = ++next;
+      p.flow = flow;
+      p.src = src;
+      p.dst = dst;
+      nodes[static_cast<std::size_t>(src)]->enqueue(p);
+    }
+  };
+  offer(0, 3, 0, 200);
+  offer(1, 4, 1, 200);
+  offer(2, 5, 2, 200);
+  ctrl.start(usec(100));
+  sim.run_until(msec(150));
+
+  // All three links progress (scheduling works)...
+  EXPECT_GT(delivered[0], 20);
+  EXPECT_GT(delivered[2], 20);
+  // ...but the barrier ties the free APs to the deferring one: their
+  // throughput cannot run ahead by more than ~one quota per batch.
+  EXPECT_LE(delivered[0] - delivered[2], 40);
+  EXPECT_GT(ctrl.batches_dispatched(), 3u);
+}
+
+TEST(Centaur, ApsHeldUntilRelease) {
+  topo::ManualTopologyBuilder b;
+  const auto ap = b.add_ap();
+  b.add_client(ap);
+  auto topo = b.build();
+  sim::Simulator sim;
+  phy::Medium medium(sim, topo);
+  int delivered = 0;
+  mac::DcfNode apn(sim, medium, ap, {}, Rng(1),
+                   [&](const traffic::Packet&, topo::NodeId, TimeNs) {
+                     ++delivered;
+                   });
+  mac::DcfNode cn(sim, medium, 1, {}, Rng(2),
+                  [&](const traffic::Packet& p, topo::NodeId at, TimeNs) {
+                    if (at == p.dst) ++delivered;
+                  });
+  const auto dl = topo.make_links(true, false);
+  auto graph = topo::ConflictGraph::build(topo, dl);
+  wired::Backbone backbone(sim, {}, Rng(3));
+  std::map<topo::NodeId, mac::DcfNode*> aps{{ap, &apn}};
+  centaur::CentaurController ctrl(sim, backbone, graph, {}, aps);
+  // Not started: the controller's constructor gates the AP.
+  traffic::Packet p;
+  p.id = 1;
+  p.flow = 0;
+  p.src = ap;
+  p.dst = 1;
+  apn.enqueue(p);
+  sim.run_until(msec(5));
+  EXPECT_EQ(delivered, 0) << "gated AP must hold its queue";
+  ctrl.start(sim.now());
+  sim.run_until(msec(15));
+  EXPECT_EQ(delivered, 1);
+}
+
+}  // namespace
+}  // namespace dmn
