@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_domino.dir/bench_ablation_domino.cpp.o"
+  "CMakeFiles/bench_ablation_domino.dir/bench_ablation_domino.cpp.o.d"
+  "bench_ablation_domino"
+  "bench_ablation_domino.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_domino.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig06_rop_guard.dir/bench_fig06_rop_guard.cpp.o"
+  "CMakeFiles/bench_fig06_rop_guard.dir/bench_fig06_rop_guard.cpp.o.d"
+  "bench_fig06_rop_guard"
+  "bench_fig06_rop_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig06_rop_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

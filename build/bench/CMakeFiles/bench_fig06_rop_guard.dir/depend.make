@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig06_rop_guard.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_signature.dir/bench_fig09_signature.cpp.o"
+  "CMakeFiles/bench_fig09_signature.dir/bench_fig09_signature.cpp.o.d"
+  "bench_fig09_signature"
+  "bench_fig09_signature.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_signature.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

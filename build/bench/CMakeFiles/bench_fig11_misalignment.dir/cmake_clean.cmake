@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_misalignment.dir/bench_fig11_misalignment.cpp.o"
+  "CMakeFiles/bench_fig11_misalignment.dir/bench_fig11_misalignment.cpp.o.d"
+  "bench_fig11_misalignment"
+  "bench_fig11_misalignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_misalignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_tcp.dir/bench_fig12_tcp.cpp.o"
+  "CMakeFiles/bench_fig12_tcp.dir/bench_fig12_tcp.cpp.o.d"
+  "bench_fig12_tcp"
+  "bench_fig12_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_udp.dir/bench_fig12_udp.cpp.o"
+  "CMakeFiles/bench_fig12_udp.dir/bench_fig12_udp.cpp.o.d"
+  "bench_fig12_udp"
+  "bench_fig12_udp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_udp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

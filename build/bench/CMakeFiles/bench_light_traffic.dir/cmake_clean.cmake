@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_light_traffic.dir/bench_light_traffic.cpp.o"
+  "CMakeFiles/bench_light_traffic.dir/bench_light_traffic.cpp.o.d"
+  "bench_light_traffic"
+  "bench_light_traffic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_light_traffic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_polling_frequency.dir/bench_polling_frequency.cpp.o"
+  "CMakeFiles/bench_polling_frequency.dir/bench_polling_frequency.cpp.o.d"
+  "bench_polling_frequency"
+  "bench_polling_frequency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_polling_frequency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_signature_length.dir/bench_signature_length.cpp.o"
+  "CMakeFiles/bench_signature_length.dir/bench_signature_length.cpp.o.d"
+  "bench_signature_length"
+  "bench_signature_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_signature_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_usrp.dir/bench_table2_usrp.cpp.o"
+  "CMakeFiles/bench_table2_usrp.dir/bench_table2_usrp.cpp.o.d"
+  "bench_table2_usrp"
+  "bench_table2_usrp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_usrp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_exposed.dir/bench_table3_exposed.cpp.o"
+  "CMakeFiles/bench_table3_exposed.dir/bench_table3_exposed.cpp.o.d"
+  "bench_table3_exposed"
+  "bench_table3_exposed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_exposed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

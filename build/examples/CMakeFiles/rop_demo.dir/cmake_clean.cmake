@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rop_demo.dir/rop_demo.cpp.o"
+  "CMakeFiles/rop_demo.dir/rop_demo.cpp.o.d"
+  "rop_demo"
+  "rop_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rop_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

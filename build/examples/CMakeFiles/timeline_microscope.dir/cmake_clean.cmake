@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timeline_microscope.dir/timeline_microscope.cpp.o"
+  "CMakeFiles/timeline_microscope.dir/timeline_microscope.cpp.o.d"
+  "timeline_microscope"
+  "timeline_microscope.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timeline_microscope.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/api/experiment.cpp" "src/CMakeFiles/domino.dir/api/experiment.cpp.o" "gcc" "src/CMakeFiles/domino.dir/api/experiment.cpp.o.d"
+  "/root/repo/src/api/metrics.cpp" "src/CMakeFiles/domino.dir/api/metrics.cpp.o" "gcc" "src/CMakeFiles/domino.dir/api/metrics.cpp.o.d"
+  "/root/repo/src/api/timeline.cpp" "src/CMakeFiles/domino.dir/api/timeline.cpp.o" "gcc" "src/CMakeFiles/domino.dir/api/timeline.cpp.o.d"
+  "/root/repo/src/centaur/centaur.cpp" "src/CMakeFiles/domino.dir/centaur/centaur.cpp.o" "gcc" "src/CMakeFiles/domino.dir/centaur/centaur.cpp.o.d"
+  "/root/repo/src/domino/controller.cpp" "src/CMakeFiles/domino.dir/domino/controller.cpp.o" "gcc" "src/CMakeFiles/domino.dir/domino/controller.cpp.o.d"
+  "/root/repo/src/domino/converter.cpp" "src/CMakeFiles/domino.dir/domino/converter.cpp.o" "gcc" "src/CMakeFiles/domino.dir/domino/converter.cpp.o.d"
+  "/root/repo/src/domino/domino_mac.cpp" "src/CMakeFiles/domino.dir/domino/domino_mac.cpp.o" "gcc" "src/CMakeFiles/domino.dir/domino/domino_mac.cpp.o.d"
+  "/root/repo/src/domino/rand_scheduler.cpp" "src/CMakeFiles/domino.dir/domino/rand_scheduler.cpp.o" "gcc" "src/CMakeFiles/domino.dir/domino/rand_scheduler.cpp.o.d"
+  "/root/repo/src/domino/relative_schedule.cpp" "src/CMakeFiles/domino.dir/domino/relative_schedule.cpp.o" "gcc" "src/CMakeFiles/domino.dir/domino/relative_schedule.cpp.o.d"
+  "/root/repo/src/domino/signature_plan.cpp" "src/CMakeFiles/domino.dir/domino/signature_plan.cpp.o" "gcc" "src/CMakeFiles/domino.dir/domino/signature_plan.cpp.o.d"
+  "/root/repo/src/dsp/channel.cpp" "src/CMakeFiles/domino.dir/dsp/channel.cpp.o" "gcc" "src/CMakeFiles/domino.dir/dsp/channel.cpp.o.d"
+  "/root/repo/src/dsp/fft.cpp" "src/CMakeFiles/domino.dir/dsp/fft.cpp.o" "gcc" "src/CMakeFiles/domino.dir/dsp/fft.cpp.o.d"
+  "/root/repo/src/gold/correlator.cpp" "src/CMakeFiles/domino.dir/gold/correlator.cpp.o" "gcc" "src/CMakeFiles/domino.dir/gold/correlator.cpp.o.d"
+  "/root/repo/src/gold/gold_code.cpp" "src/CMakeFiles/domino.dir/gold/gold_code.cpp.o" "gcc" "src/CMakeFiles/domino.dir/gold/gold_code.cpp.o.d"
+  "/root/repo/src/gold/lfsr.cpp" "src/CMakeFiles/domino.dir/gold/lfsr.cpp.o" "gcc" "src/CMakeFiles/domino.dir/gold/lfsr.cpp.o.d"
+  "/root/repo/src/mac/dcf.cpp" "src/CMakeFiles/domino.dir/mac/dcf.cpp.o" "gcc" "src/CMakeFiles/domino.dir/mac/dcf.cpp.o.d"
+  "/root/repo/src/mac/mac_common.cpp" "src/CMakeFiles/domino.dir/mac/mac_common.cpp.o" "gcc" "src/CMakeFiles/domino.dir/mac/mac_common.cpp.o.d"
+  "/root/repo/src/omni/omniscient.cpp" "src/CMakeFiles/domino.dir/omni/omniscient.cpp.o" "gcc" "src/CMakeFiles/domino.dir/omni/omniscient.cpp.o.d"
+  "/root/repo/src/phy/frame.cpp" "src/CMakeFiles/domino.dir/phy/frame.cpp.o" "gcc" "src/CMakeFiles/domino.dir/phy/frame.cpp.o.d"
+  "/root/repo/src/phy/medium.cpp" "src/CMakeFiles/domino.dir/phy/medium.cpp.o" "gcc" "src/CMakeFiles/domino.dir/phy/medium.cpp.o.d"
+  "/root/repo/src/phy/signature_model.cpp" "src/CMakeFiles/domino.dir/phy/signature_model.cpp.o" "gcc" "src/CMakeFiles/domino.dir/phy/signature_model.cpp.o.d"
+  "/root/repo/src/phy/transceiver.cpp" "src/CMakeFiles/domino.dir/phy/transceiver.cpp.o" "gcc" "src/CMakeFiles/domino.dir/phy/transceiver.cpp.o.d"
+  "/root/repo/src/rop/rop_phy.cpp" "src/CMakeFiles/domino.dir/rop/rop_phy.cpp.o" "gcc" "src/CMakeFiles/domino.dir/rop/rop_phy.cpp.o.d"
+  "/root/repo/src/rop/rop_protocol.cpp" "src/CMakeFiles/domino.dir/rop/rop_protocol.cpp.o" "gcc" "src/CMakeFiles/domino.dir/rop/rop_protocol.cpp.o.d"
+  "/root/repo/src/rop/subchannel_map.cpp" "src/CMakeFiles/domino.dir/rop/subchannel_map.cpp.o" "gcc" "src/CMakeFiles/domino.dir/rop/subchannel_map.cpp.o.d"
+  "/root/repo/src/sim/simulator.cpp" "src/CMakeFiles/domino.dir/sim/simulator.cpp.o" "gcc" "src/CMakeFiles/domino.dir/sim/simulator.cpp.o.d"
+  "/root/repo/src/topo/conflict_graph.cpp" "src/CMakeFiles/domino.dir/topo/conflict_graph.cpp.o" "gcc" "src/CMakeFiles/domino.dir/topo/conflict_graph.cpp.o.d"
+  "/root/repo/src/topo/node.cpp" "src/CMakeFiles/domino.dir/topo/node.cpp.o" "gcc" "src/CMakeFiles/domino.dir/topo/node.cpp.o.d"
+  "/root/repo/src/topo/propagation.cpp" "src/CMakeFiles/domino.dir/topo/propagation.cpp.o" "gcc" "src/CMakeFiles/domino.dir/topo/propagation.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/CMakeFiles/domino.dir/topo/topology.cpp.o" "gcc" "src/CMakeFiles/domino.dir/topo/topology.cpp.o.d"
+  "/root/repo/src/topo/trace_synth.cpp" "src/CMakeFiles/domino.dir/topo/trace_synth.cpp.o" "gcc" "src/CMakeFiles/domino.dir/topo/trace_synth.cpp.o.d"
+  "/root/repo/src/traffic/flow_stats.cpp" "src/CMakeFiles/domino.dir/traffic/flow_stats.cpp.o" "gcc" "src/CMakeFiles/domino.dir/traffic/flow_stats.cpp.o.d"
+  "/root/repo/src/traffic/packet.cpp" "src/CMakeFiles/domino.dir/traffic/packet.cpp.o" "gcc" "src/CMakeFiles/domino.dir/traffic/packet.cpp.o.d"
+  "/root/repo/src/traffic/queue.cpp" "src/CMakeFiles/domino.dir/traffic/queue.cpp.o" "gcc" "src/CMakeFiles/domino.dir/traffic/queue.cpp.o.d"
+  "/root/repo/src/traffic/tcp_reno.cpp" "src/CMakeFiles/domino.dir/traffic/tcp_reno.cpp.o" "gcc" "src/CMakeFiles/domino.dir/traffic/tcp_reno.cpp.o.d"
+  "/root/repo/src/traffic/udp_source.cpp" "src/CMakeFiles/domino.dir/traffic/udp_source.cpp.o" "gcc" "src/CMakeFiles/domino.dir/traffic/udp_source.cpp.o.d"
+  "/root/repo/src/util/log.cpp" "src/CMakeFiles/domino.dir/util/log.cpp.o" "gcc" "src/CMakeFiles/domino.dir/util/log.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/domino.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/domino.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/units.cpp" "src/CMakeFiles/domino.dir/util/units.cpp.o" "gcc" "src/CMakeFiles/domino.dir/util/units.cpp.o.d"
+  "/root/repo/src/wired/backbone.cpp" "src/CMakeFiles/domino.dir/wired/backbone.cpp.o" "gcc" "src/CMakeFiles/domino.dir/wired/backbone.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coexistence_test.dir/coexistence_test.cpp.o"
+  "CMakeFiles/coexistence_test.dir/coexistence_test.cpp.o.d"
+  "coexistence_test"
+  "coexistence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coexistence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

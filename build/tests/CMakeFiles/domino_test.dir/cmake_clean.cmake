@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/domino_test.dir/domino_test.cpp.o"
+  "CMakeFiles/domino_test.dir/domino_test.cpp.o.d"
+  "domino_test"
+  "domino_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/domino_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dsp_gold_test.dir/dsp_gold_test.cpp.o"
+  "CMakeFiles/dsp_gold_test.dir/dsp_gold_test.cpp.o.d"
+  "dsp_gold_test"
+  "dsp_gold_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dsp_gold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rop_test.dir/rop_test.cpp.o"
+  "CMakeFiles/rop_test.dir/rop_test.cpp.o.d"
+  "rop_test"
+  "rop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/util_sim_test.dir/util_sim_test.cpp.o"
+  "CMakeFiles/util_sim_test.dir/util_sim_test.cpp.o.d"
+  "util_sim_test"
+  "util_sim_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/util_sim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(util_sim_test "/root/repo/build/tests/util_sim_test")
+set_tests_properties(util_sim_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;domino_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dsp_gold_test "/root/repo/build/tests/dsp_gold_test")
+set_tests_properties(dsp_gold_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;domino_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(rop_test "/root/repo/build/tests/rop_test")
+set_tests_properties(rop_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;domino_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(topo_test "/root/repo/build/tests/topo_test")
+set_tests_properties(topo_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;domino_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(phy_test "/root/repo/build/tests/phy_test")
+set_tests_properties(phy_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;domino_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(traffic_test "/root/repo/build/tests/traffic_test")
+set_tests_properties(traffic_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;domino_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(dcf_test "/root/repo/build/tests/dcf_test")
+set_tests_properties(dcf_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;domino_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(scheduler_test "/root/repo/build/tests/scheduler_test")
+set_tests_properties(scheduler_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;domino_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(domino_test "/root/repo/build/tests/domino_test")
+set_tests_properties(domino_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;domino_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(api_test "/root/repo/build/tests/api_test")
+set_tests_properties(api_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;domino_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(property_test "/root/repo/build/tests/property_test")
+set_tests_properties(property_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;domino_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(coexistence_test "/root/repo/build/tests/coexistence_test")
+set_tests_properties(coexistence_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;19;domino_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(controller_test "/root/repo/build/tests/controller_test")
+set_tests_properties(controller_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;20;domino_test;/root/repo/tests/CMakeLists.txt;0;")
