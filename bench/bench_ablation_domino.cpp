@@ -2,9 +2,11 @@
 //  * trigger redundancy: max inbound 1 vs 2 (backup triggers);
 //  * fake-link insertion on/off;
 //  * degraded signature detection (stressing the recovery paths).
-// Run on the Figure 7 network with bidirectional saturated traffic.
+// Run on the Figure 7 network with bidirectional saturated traffic; all
+// variants fan across cores as one sweep.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 
@@ -12,57 +14,73 @@ using namespace dmn;
 
 namespace {
 
-api::ExperimentResult run(const topo::Topology& topo,
-                          api::ExperimentConfig cfg) {
+api::ExperimentConfig base_cfg() {
+  api::ExperimentConfig cfg;
   cfg.scheme = api::Scheme::kDomino;
   cfg.duration = sec(bench::bench_seconds(5));
   cfg.seed = 9;
   cfg.traffic.saturate_downlink = true;
   cfg.traffic.saturate_uplink = true;
-  return api::run_experiment(topo, cfg);
-}
-
-void row(const char* name, const api::ExperimentResult& r) {
-  std::printf("%-34s %8.2f %9.3f %9llu %9llu\n", name, r.throughput_mbps(),
-              r.jain_fairness,
-              static_cast<unsigned long long>(r.domino_self_starts),
-              static_cast<unsigned long long>(r.ack_timeouts));
+  return cfg;
 }
 
 }  // namespace
 
 int main() {
   const auto topo = bench::fig7_topology();
+
+  std::vector<api::SweepPoint> points;
+  {
+    api::ExperimentConfig cfg = base_cfg();
+    points.push_back({topo, cfg, "baseline (inbound 2, fakes on)"});
+  }
+  {
+    api::ExperimentConfig cfg = base_cfg();
+    cfg.converter.max_inbound = 1;
+    points.push_back({topo, cfg, "single trigger (inbound 1)"});
+  }
+  {
+    api::ExperimentConfig cfg = base_cfg();
+    cfg.converter.insert_fake_links = false;
+    points.push_back({topo, cfg, "no fake-link insertion"});
+  }
+  {
+    api::ExperimentConfig cfg = base_cfg();
+    for (int i = 1; i <= 7; ++i) cfg.sig_model.p_by_count[i] *= 0.85;
+    points.push_back({topo, cfg, "15% signature detection loss"});
+  }
+  {
+    api::ExperimentConfig cfg = base_cfg();
+    cfg.backbone.sigma_latency = usec(200);
+    points.push_back({topo, cfg, "wired jitter sigma 200us"});
+  }
+
+  api::SweepRunner runner({api::sweep_threads_from_env(), nullptr});
+  const auto results = runner.run(points);
+
   bench::print_header("DOMINO design ablations (Figure 7 net, saturated)");
   std::printf("%-34s %8s %9s %9s %9s\n", "variant", "Mbps", "fairness",
               "selfstart", "ack_to");
-
-  {
-    api::ExperimentConfig cfg;
-    row("baseline (inbound 2, fakes on)", run(topo, cfg));
-  }
-  {
-    api::ExperimentConfig cfg;
-    cfg.converter.max_inbound = 1;
-    row("single trigger (inbound 1)", run(topo, cfg));
-  }
-  {
-    api::ExperimentConfig cfg;
-    cfg.converter.insert_fake_links = false;
-    row("no fake-link insertion", run(topo, cfg));
-  }
-  {
-    api::ExperimentConfig cfg;
-    for (int i = 1; i <= 7; ++i) cfg.sig_model.p_by_count[i] *= 0.85;
-    row("15% signature detection loss", run(topo, cfg));
-  }
-  {
-    api::ExperimentConfig cfg;
-    cfg.backbone.sigma_latency = usec(200);
-    row("wired jitter sigma 200us", run(topo, cfg));
+  bench::BenchJson json("ablation_domino");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%-34s %8.2f %9.3f %9llu %9llu\n", points[i].label.c_str(),
+                r.throughput_mbps(), r.jain_fairness,
+                static_cast<unsigned long long>(r.domino_self_starts),
+                static_cast<unsigned long long>(r.ack_timeouts));
+    json.add_row()
+        .str("variant", points[i].label)
+        .num("throughput_mbps", r.throughput_mbps())
+        .num("jain_fairness", r.jain_fairness)
+        .num("self_starts", static_cast<double>(r.domino_self_starts))
+        .num("ack_timeouts", static_cast<double>(r.ack_timeouts));
   }
   std::printf(
       "\nexpected: backup triggers and fake links buy robustness (fewer "
       "self-starts); degradations cost throughput, not liveness\n");
+  std::printf("sweep: %zu points on %zu threads in %.2fs\n",
+              runner.stats().points, runner.stats().threads,
+              runner.stats().wall_seconds);
+  json.meta("wall_seconds", runner.stats().wall_seconds);
   return 0;
 }

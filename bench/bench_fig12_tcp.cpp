@@ -3,9 +3,11 @@
 // 10 Mbps application rate and uplink TCP swept 0..10 Mbps.
 //
 // Paper's shape: DOMINO's TCP gain is modest (10-15%) because TCP ACKs
-// occupy whole slots; fairness gain 17-39%; delays comparable to DCF.
+// occupy whole slots; fairness gain 17-39%; delays comparable to DCF. The
+// 5 x 3 grid runs as one parallel sweep.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 
@@ -15,18 +17,14 @@ int main() {
   const auto topo = bench::trace_tmn(10, 2, 42);
   const TimeNs dur = sec(bench::bench_seconds(5));
 
-  bench::print_header("Figure 12(d-f): TCP on T(10,2), downlink 10 Mbps");
-  std::printf("%8s | %25s | %25s | %25s\n", "", "goodput (Mbps)",
-              "mean delay (ms)", "Jain fairness");
-  std::printf("%8s | %8s %8s %7s | %8s %8s %7s | %8s %8s %7s\n", "uplink",
-              "DOMINO", "CENTAUR", "DCF", "DOMINO", "CENTAUR", "DCF",
-              "DOMINO", "CENTAUR", "DCF");
+  const api::Scheme schemes[] = {api::Scheme::kDomino, api::Scheme::kCentaur,
+                                 api::Scheme::kDcf};
+  std::vector<double> uplinks;
+  for (double up = 0.0; up <= 10.01; up += 2.5) uplinks.push_back(up);
 
-  for (double up = 0.0; up <= 10.01; up += 2.5) {
-    double tput[3], delay[3], jain[3];
-    int i = 0;
-    for (api::Scheme s : {api::Scheme::kDomino, api::Scheme::kCentaur,
-                          api::Scheme::kDcf}) {
+  std::vector<api::SweepPoint> points;
+  for (const double up : uplinks) {
+    for (const api::Scheme s : schemes) {
       api::ExperimentConfig cfg;
       cfg.scheme = s;
       cfg.duration = dur;
@@ -34,19 +32,46 @@ int main() {
       cfg.traffic.kind = api::TrafficKind::kTcp;
       cfg.traffic.downlink_bps = 10e6;
       cfg.traffic.uplink_bps = up * 1e6;
-      const auto r = api::run_experiment(topo, cfg);
+      points.push_back({topo, cfg, std::string(api::to_string(s))});
+    }
+  }
+
+  api::SweepRunner runner({api::sweep_threads_from_env(), nullptr});
+  const auto results = runner.run(points);
+
+  bench::print_header("Figure 12(d-f): TCP on T(10,2), downlink 10 Mbps");
+  std::printf("%8s | %25s | %25s | %25s\n", "", "goodput (Mbps)",
+              "mean delay (ms)", "Jain fairness");
+  std::printf("%8s | %8s %8s %7s | %8s %8s %7s | %8s %8s %7s\n", "uplink",
+              "DOMINO", "CENTAUR", "DCF", "DOMINO", "CENTAUR", "DCF",
+              "DOMINO", "CENTAUR", "DCF");
+
+  bench::BenchJson json("fig12_tcp");
+  for (std::size_t u = 0; u < uplinks.size(); ++u) {
+    double tput[3], delay[3], jain[3];
+    for (int i = 0; i < 3; ++i) {
+      const auto& r = results[u * 3 + static_cast<std::size_t>(i)];
       tput[i] = r.throughput_mbps();
       delay[i] = r.mean_delay_us / 1000.0;
       jain[i] = r.jain_fairness;
-      ++i;
+      json.add_row()
+          .str("scheme", api::to_string(schemes[i]))
+          .num("uplink_mbps", uplinks[u])
+          .num("goodput_mbps", tput[i])
+          .num("mean_delay_ms", delay[i])
+          .num("jain_fairness", jain[i]);
     }
     std::printf("%7.1fM | %8.2f %8.2f %7.2f | %8.1f %8.1f %7.1f | "
                 "%8.3f %8.3f %7.3f\n",
-                up, tput[0], tput[1], tput[2], delay[0], delay[1], delay[2],
-                jain[0], jain[1], jain[2]);
+                uplinks[u], tput[0], tput[1], tput[2], delay[0], delay[1],
+                delay[2], jain[0], jain[1], jain[2]);
   }
   std::printf(
       "\npaper: DOMINO TCP gain 10-15%% (ACKs burn slots), fairness gain "
       "17-39%%, delay comparable to DCF\n");
+  std::printf("sweep: %zu points on %zu threads in %.2fs\n",
+              runner.stats().points, runner.stats().threads,
+              runner.stats().wall_seconds);
+  json.meta("wall_seconds", runner.stats().wall_seconds);
   return 0;
 }

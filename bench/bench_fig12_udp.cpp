@@ -4,9 +4,10 @@
 //
 // Paper's shape: DOMINO ~74% over DCF at uplink 0, narrowing to ~24% at
 // uplink 10; DOMINO delay roughly half of DCF's; DOMINO fairness ~0.78 vs
-// DCF ~0.47 under load.
+// DCF ~0.47 under load. The 6 x 3 grid runs as one parallel sweep.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 
@@ -16,6 +17,27 @@ int main() {
   const auto topo = bench::trace_tmn(10, 2, 42);
   const TimeNs dur = sec(bench::bench_seconds(5));
 
+  const api::Scheme schemes[] = {api::Scheme::kDomino, api::Scheme::kCentaur,
+                                 api::Scheme::kDcf};
+  std::vector<double> uplinks;
+  for (double up = 0.0; up <= 10.01; up += 2.0) uplinks.push_back(up);
+
+  std::vector<api::SweepPoint> points;
+  for (const double up : uplinks) {
+    for (const api::Scheme s : schemes) {
+      api::ExperimentConfig cfg;
+      cfg.scheme = s;
+      cfg.duration = dur;
+      cfg.seed = 21;
+      cfg.traffic.downlink_bps = 10e6;
+      cfg.traffic.uplink_bps = up * 1e6;
+      points.push_back({topo, cfg, std::string(api::to_string(s))});
+    }
+  }
+
+  api::SweepRunner runner({api::sweep_threads_from_env(), nullptr});
+  const auto results = runner.run(points);
+
   bench::print_header("Figure 12(a-c): UDP on T(10,2), downlink 10 Mbps");
   std::printf("%8s | %25s | %25s | %25s\n", "", "throughput (Mbps)",
               "mean delay (ms)", "Jain fairness");
@@ -23,30 +45,32 @@ int main() {
               "DOMINO", "CENTAUR", "DCF", "DOMINO", "CENTAUR", "DCF",
               "DOMINO", "CENTAUR", "DCF");
 
-  for (double up = 0.0; up <= 10.01; up += 2.0) {
+  bench::BenchJson json("fig12_udp");
+  for (std::size_t u = 0; u < uplinks.size(); ++u) {
     double tput[3], delay[3], jain[3];
-    int i = 0;
-    for (api::Scheme s : {api::Scheme::kDomino, api::Scheme::kCentaur,
-                          api::Scheme::kDcf}) {
-      api::ExperimentConfig cfg;
-      cfg.scheme = s;
-      cfg.duration = dur;
-      cfg.seed = 21;
-      cfg.traffic.downlink_bps = 10e6;
-      cfg.traffic.uplink_bps = up * 1e6;
-      const auto r = api::run_experiment(topo, cfg);
+    for (int i = 0; i < 3; ++i) {
+      const auto& r = results[u * 3 + static_cast<std::size_t>(i)];
       tput[i] = r.throughput_mbps();
       delay[i] = r.mean_delay_us / 1000.0;
       jain[i] = r.jain_fairness;
-      ++i;
+      json.add_row()
+          .str("scheme", api::to_string(schemes[i]))
+          .num("uplink_mbps", uplinks[u])
+          .num("throughput_mbps", tput[i])
+          .num("mean_delay_ms", delay[i])
+          .num("jain_fairness", jain[i]);
     }
     std::printf("%7.0fM | %8.2f %8.2f %7.2f | %8.1f %8.1f %7.1f | "
                 "%8.3f %8.3f %7.3f\n",
-                up, tput[0], tput[1], tput[2], delay[0], delay[1], delay[2],
-                jain[0], jain[1], jain[2]);
+                uplinks[u], tput[0], tput[1], tput[2], delay[0], delay[1],
+                delay[2], jain[0], jain[1], jain[2]);
   }
   std::printf(
       "\npaper: DOMINO +74%% over DCF at uplink 0, +24%% at uplink 10; "
       "DOMINO delay ~ half of DCF; fairness 0.78 vs 0.47\n");
+  std::printf("sweep: %zu points on %zu threads in %.2fs\n",
+              runner.stats().points, runner.stats().threads,
+              runner.stats().wall_seconds);
+  json.meta("wall_seconds", runner.stats().wall_seconds);
   return 0;
 }

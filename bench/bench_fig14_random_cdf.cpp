@@ -3,11 +3,12 @@
 // loss), saturated UDP.
 //
 // Paper: 50 runs; gain 1.22x..1.96x with a median of 1.58x. Runs default to
-// fewer repetitions for laptop runtimes; raise DMN_BENCH_RUNS to 50.
+// fewer repetitions for laptop runtimes; raise DMN_BENCH_RUNS to 50. The
+// 2 x runs experiment points fan across all cores via SweepRunner
+// (DMN_SWEEP_THREADS=1 recovers the serial loop, bit-identically).
 
 #include <algorithm>
 #include <cstdio>
-#include <cstdlib>
 #include <vector>
 
 #include "bench_util.h"
@@ -15,13 +16,11 @@
 using namespace dmn;
 
 int main() {
-  int runs = 12;
-  if (const char* v = std::getenv("DMN_BENCH_RUNS")) {
-    runs = std::max(1, std::atoi(v));
-  }
+  const int runs = bench::bench_runs(12);
   const TimeNs dur = sec(bench::bench_seconds(3));
 
-  std::vector<double> gains;
+  // Two points per run — DCF then DOMINO on the same random topology.
+  std::vector<api::SweepPoint> points;
   for (int run = 0; run < runs; ++run) {
     Rng rng(1000 + static_cast<std::uint64_t>(run));
     topo::LogDistanceModel model;
@@ -33,15 +32,30 @@ int main() {
     cfg.traffic.downlink_bps = 10e6;
 
     cfg.scheme = api::Scheme::kDcf;
-    const auto dcf = api::run_experiment(topo, cfg);
+    points.push_back({topo, cfg, "run " + std::to_string(run) + " DCF"});
     cfg.scheme = api::Scheme::kDomino;
-    const auto dom = api::run_experiment(topo, cfg);
+    points.push_back({topo, cfg, "run " + std::to_string(run) + " DOMINO"});
+  }
+
+  api::SweepRunner runner({api::sweep_threads_from_env(), nullptr});
+  const auto results = runner.run(points);
+
+  bench::BenchJson json("fig14_random_cdf");
+  std::vector<double> gains;
+  for (int run = 0; run < runs; ++run) {
+    const auto& dcf = results[static_cast<std::size_t>(2 * run)];
+    const auto& dom = results[static_cast<std::size_t>(2 * run + 1)];
+    double gain = 0.0;
     if (dcf.aggregate_throughput_bps > 0) {
-      gains.push_back(dom.aggregate_throughput_bps /
-                      dcf.aggregate_throughput_bps);
+      gain = dom.aggregate_throughput_bps / dcf.aggregate_throughput_bps;
+      gains.push_back(gain);
     }
-    std::printf("run %2d: gain %.2fx\n", run,
-                gains.empty() ? 0.0 : gains.back());
+    std::printf("run %2d: gain %.2fx\n", run, gain);
+    json.add_row()
+        .num("run", run)
+        .num("dcf_mbps", dcf.throughput_mbps())
+        .num("domino_mbps", dom.throughput_mbps())
+        .num("gain", gain);
   }
 
   std::sort(gains.begin(), gains.end());
@@ -56,5 +70,10 @@ int main() {
     std::printf("\nmedian gain: %.2fx (paper: 1.58x, range 1.22-1.96x)\n",
                 gains[gains.size() / 2]);
   }
+  std::printf("sweep: %zu points on %zu threads in %.2fs\n",
+              runner.stats().points, runner.stats().threads,
+              runner.stats().wall_seconds);
+  json.meta("wall_seconds", runner.stats().wall_seconds);
+  json.meta("threads", static_cast<double>(runner.stats().threads));
   return 0;
 }

@@ -3,9 +3,11 @@
 // (5 Mbps/link) and light (500 Kbps/link) traffic.
 //
 // Paper: under heavy traffic larger batches slightly improve both metrics;
-// under light traffic the delay grows with batch size.
+// under light traffic the delay grows with batch size. The 4 x 2 grid runs
+// as one parallel sweep.
 
 #include <cstdio>
+#include <vector>
 
 #include "bench_util.h"
 
@@ -15,6 +17,26 @@ int main() {
   const auto topo = bench::trace_tmn(10, 2, 42);
   const TimeNs dur = sec(bench::bench_seconds(5));
 
+  const std::size_t batches[] = {5, 10, 20, 40};
+  const double rates[] = {5e6, 0.5e6};
+
+  std::vector<api::SweepPoint> points;
+  for (const std::size_t batch : batches) {
+    for (const double rate : rates) {
+      api::ExperimentConfig cfg;
+      cfg.scheme = api::Scheme::kDomino;
+      cfg.duration = dur;
+      cfg.seed = 77;
+      cfg.traffic.downlink_bps = rate;
+      cfg.traffic.uplink_bps = rate;
+      cfg.domino.batch_slots = batch;
+      points.push_back({topo, cfg, "batch " + std::to_string(batch)});
+    }
+  }
+
+  api::SweepRunner runner({api::sweep_threads_from_env(), nullptr});
+  const auto results = runner.run(points);
+
   bench::print_header(
       "Polling frequency (§5): batch size vs UDP delay / throughput, "
       "T(10,2)");
@@ -23,27 +45,28 @@ int main() {
   std::printf("%8s | %10s %11s | %10s %11s\n", "batch", "Mbps", "delay ms",
               "Mbps", "delay ms");
 
-  for (std::size_t batch : {5u, 10u, 20u, 40u}) {
+  bench::BenchJson json("polling_frequency");
+  for (std::size_t b = 0; b < 4; ++b) {
     double tput[2], delay[2];
-    int i = 0;
-    for (double rate : {5e6, 0.5e6}) {
-      api::ExperimentConfig cfg;
-      cfg.scheme = api::Scheme::kDomino;
-      cfg.duration = dur;
-      cfg.seed = 77;
-      cfg.traffic.downlink_bps = rate;
-      cfg.traffic.uplink_bps = rate;
-      cfg.domino.batch_slots = batch;
-      const auto r = api::run_experiment(topo, cfg);
+    for (int i = 0; i < 2; ++i) {
+      const auto& r = results[b * 2 + static_cast<std::size_t>(i)];
       tput[i] = r.throughput_mbps();
       delay[i] = r.mean_delay_us / 1000.0;
-      ++i;
+      json.add_row()
+          .num("batch_slots", static_cast<double>(batches[b]))
+          .num("rate_bps", rates[i])
+          .num("throughput_mbps", tput[i])
+          .num("mean_delay_ms", delay[i]);
     }
-    std::printf("%8zu | %10.2f %11.2f | %10.2f %11.2f\n", batch, tput[0],
-                delay[0], tput[1], delay[1]);
+    std::printf("%8zu | %10.2f %11.2f | %10.2f %11.2f\n", batches[b],
+                tput[0], delay[0], tput[1], delay[1]);
   }
   std::printf(
       "\npaper: heavy traffic — larger batches slightly better; light "
       "traffic — delay increases with batch size\n");
+  std::printf("sweep: %zu points on %zu threads in %.2fs\n",
+              runner.stats().points, runner.stats().threads,
+              runner.stats().wall_seconds);
+  json.meta("wall_seconds", runner.stats().wall_seconds);
   return 0;
 }

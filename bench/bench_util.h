@@ -4,12 +4,24 @@
 //
 // Simulated duration per data point defaults to a laptop-friendly value and
 // can be raised toward the paper's 50 s with DMN_BENCH_SECONDS.
+//
+// Environment knobs shared by all benches:
+//   DMN_BENCH_SECONDS  simulated seconds per data point
+//   DMN_BENCH_RUNS     repetition count for seed sweeps
+//   DMN_SWEEP_THREADS  sweep pool size (default: all hardware threads)
+//   DMN_BENCH_JSON     when set, benches also write machine-readable
+//                      BENCH_<name>.json rows there (a directory, or a
+//                      literal *.json file path)
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "api/experiment.h"
+#include "api/sweep.h"
 #include "topo/topology.h"
 #include "topo/trace_synth.h"
 
@@ -20,6 +32,12 @@ inline double bench_seconds(double fallback) {
   if (v == nullptr) return fallback;
   const double s = std::atof(v);
   return s > 0 ? s : fallback;
+}
+
+inline int bench_runs(int fallback) {
+  const char* v = std::getenv("DMN_BENCH_RUNS");
+  if (v == nullptr) return fallback;
+  return std::max(1, std::atoi(v));
 }
 
 /// Figure 1: three AP-client pairs; AP1 hidden to AP3, AP1/C2 exposed.
@@ -94,5 +112,92 @@ inline topo::Topology trace_tmn(std::size_t m, std::size_t n,
 inline void print_header(const std::string& title) {
   std::printf("\n==== %s ====\n", title.c_str());
 }
+
+// ---- machine-readable bench output (DMN_BENCH_JSON) ------------------------
+
+/// Collects one JSON object per data point and, when DMN_BENCH_JSON is set,
+/// writes them as BENCH_<name>.json on destruction. Without the env var it
+/// costs a few string appends and writes nothing, so benches call it
+/// unconditionally. Values are flat key -> number/string pairs — enough for
+/// the perf-trajectory tooling to diff runs without scraping stdout.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  class Row {
+   public:
+    Row& num(const std::string& key, double v) {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      fields_.emplace_back(key, buf);
+      quoted_.push_back(false);
+      return *this;
+    }
+    Row& str(const std::string& key, const std::string& v) {
+      std::string esc;
+      for (const char c : v) {
+        if (c == '"' || c == '\\') esc += '\\';
+        esc += c;
+      }
+      fields_.emplace_back(key, esc);
+      quoted_.push_back(true);
+      return *this;
+    }
+
+   private:
+    friend class BenchJson;
+    std::vector<std::pair<std::string, std::string>> fields_;
+    std::vector<bool> quoted_;
+  };
+
+  Row& add_row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Extra top-level numeric field (e.g. sweep wall-clock seconds).
+  void meta(const std::string& key, double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    meta_.emplace_back(key, buf);
+  }
+
+  ~BenchJson() {
+    const char* dest = std::getenv("DMN_BENCH_JSON");
+    if (dest == nullptr || *dest == '\0') return;
+    std::string path(dest);
+    const bool is_file = path.size() > 5 &&
+                         path.compare(path.size() - 5, 5, ".json") == 0;
+    if (!is_file) path += "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "DMN_BENCH_JSON: cannot open %s\n", path.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n", name_.c_str());
+    for (const auto& [k, v] : meta_) {
+      std::fprintf(f, "  \"%s\": %s,\n", k.c_str(), v.c_str());
+    }
+    std::fprintf(f, "  \"rows\": [\n");
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+      std::fprintf(f, "    {");
+      const Row& row = rows_[r];
+      for (std::size_t i = 0; i < row.fields_.size(); ++i) {
+        const auto& [k, v] = row.fields_[i];
+        std::fprintf(f, "%s\"%s\": %s%s%s", i == 0 ? "" : ", ", k.c_str(),
+                     row.quoted_[i] ? "\"" : "", v.c_str(),
+                     row.quoted_[i] ? "\"" : "");
+      }
+      std::fprintf(f, "}%s\n", r + 1 == rows_.size() ? "" : ",");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<Row> rows_;
+};
 
 }  // namespace dmn::bench

@@ -1,14 +1,17 @@
 // Random-network comparison (the Figure 14 setting): place m APs with n
 // clients each in a square area using the default log-distance model, then
-// run all four channel-access schemes on rate-limited UDP and report
-// throughput, delay and fairness plus the hidden/exposed census.
+// run all registered channel-access schemes on rate-limited UDP — as one
+// parallel sweep — and report throughput, delay and fairness plus the
+// hidden/exposed census.
 //
 // Usage: random_network [m] [n] [side_metres] [seed]
 
 #include <cstdio>
 #include <cstdlib>
+#include <vector>
 
 #include "api/experiment.h"
+#include "api/sweep.h"
 #include "topo/conflict_graph.h"
 #include "topo/topology.h"
 
@@ -33,8 +36,9 @@ int main(int argc, char** argv) {
               m, n, side, side, static_cast<unsigned long long>(seed),
               topo.num_nodes(), census.hidden, census.exposed, census.total);
 
-  std::printf("%-11s %10s %11s %10s\n", "scheme", "Mbps", "delay ms",
-              "fairness");
+  // One sweep point per scheme, fanned across cores. Order matches the
+  // seed example: DCF, CENTAUR, DOMINO, Omniscient.
+  std::vector<api::SweepPoint> points;
   for (api::Scheme s : {api::Scheme::kDcf, api::Scheme::kCentaur,
                         api::Scheme::kDomino, api::Scheme::kOmniscient}) {
     api::ExperimentConfig cfg;
@@ -43,8 +47,16 @@ int main(int argc, char** argv) {
     cfg.seed = seed;
     cfg.traffic.downlink_bps = 8e6;
     cfg.traffic.uplink_bps = 2e6;
-    const auto r = api::run_experiment(topo, cfg);
-    std::printf("%-11s %10.2f %11.2f %10.3f\n", api::to_string(s),
+    points.push_back({topo, cfg, api::to_string(s)});
+  }
+  api::SweepRunner runner;
+  const auto results = runner.run(points);
+
+  std::printf("%-11s %10s %11s %10s\n", "scheme", "Mbps", "delay ms",
+              "fairness");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = results[i];
+    std::printf("%-11s %10.2f %11.2f %10.3f\n", points[i].label.c_str(),
                 r.throughput_mbps(), r.mean_delay_us / 1000.0,
                 r.jain_fairness);
   }

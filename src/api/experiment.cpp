@@ -1,11 +1,8 @@
 #include "api/experiment.h"
 
-#include <algorithm>
 #include <map>
 
-#include "domino/rand_scheduler.h"
-#include "mac/dcf.h"
-#include "omni/omniscient.h"
+#include "api/scheme_stack.h"
 #include "phy/medium.h"
 #include "sim/simulator.h"
 #include "topo/conflict_graph.h"
@@ -24,6 +21,9 @@ const char* to_string(Scheme s) {
   return "?";
 }
 
+// The facade owns the scheme-independent substrate — simulator, medium,
+// traffic sources/sinks, flow statistics — and delegates scheme assembly to
+// the SchemeStack selected by the config (see api/scheme_stack.h).
 struct Experiment::Impl {
   topo::Topology topo;
   ExperimentConfig cfg;
@@ -43,22 +43,11 @@ struct Experiment::Impl {
   };
   std::vector<FlowCtx> flows;
 
-  // One MAC entity per node (indexed by NodeId).
+  // One MAC entity per node (indexed by NodeId), owned by the stack.
   std::vector<mac::MacEntity*> macs;
-
-  // Concrete owners by scheme.
-  std::vector<std::unique_ptr<mac::DcfNode>> dcf_nodes;
-  std::vector<std::unique_ptr<omni::OmniNodeMac>> omni_nodes;
-  std::vector<std::unique_ptr<domino::DominoApMac>> domino_aps;
-  std::vector<std::unique_ptr<domino::DominoClientMac>> domino_clients;
+  std::unique_ptr<SchemeStack> stack;
 
   std::unique_ptr<topo::ConflictGraph> graph;
-  std::unique_ptr<topo::ConflictGraph> downlink_graph;  // CENTAUR
-  std::unique_ptr<wired::Backbone> backbone;
-  std::unique_ptr<domino::SignaturePlan> signatures;
-  std::unique_ptr<domino::DominoController> controller;
-  std::unique_ptr<centaur::CentaurController> centaur_ctrl;
-  std::unique_ptr<omni::OmniscientScheduler> omni_sched;
 
   std::vector<std::unique_ptr<traffic::UdpSource>> udp_sources;
   std::map<traffic::FlowId, std::unique_ptr<traffic::TcpSender>> tcp_senders;
@@ -181,57 +170,7 @@ struct Experiment::Impl {
     }
   }
 
-  void build_dcf() {
-    macs.assign(topo.num_nodes(), nullptr);
-    for (const topo::Node& n : topo.nodes()) {
-      auto node = std::make_unique<mac::DcfNode>(
-          sim, medium, n.id, cfg.wifi, root.fork(), delivery_fn());
-      macs[static_cast<std::size_t>(n.id)] = node.get();
-      dcf_nodes.push_back(std::move(node));
-    }
-  }
-
-  void build_centaur() {
-    build_dcf();
-    const auto dl = topo.make_links(/*downlink=*/true, /*uplink=*/false);
-    downlink_graph = std::make_unique<topo::ConflictGraph>(
-        topo::ConflictGraph::build(topo, dl));
-    backbone = std::make_unique<wired::Backbone>(sim, cfg.backbone,
-                                                 root.fork());
-    std::map<topo::NodeId, mac::DcfNode*> ap_macs;
-    for (const auto& n : dcf_nodes) {
-      if (topo.node(n->node()).is_ap) ap_macs[n->node()] = n.get();
-    }
-    centaur_ctrl = std::make_unique<centaur::CentaurController>(
-        sim, *backbone, *downlink_graph, cfg.centaur, std::move(ap_macs));
-    centaur_ctrl->start(usec(100));
-  }
-
-  void build_omniscient() {
-    macs.assign(topo.num_nodes(), nullptr);
-    std::vector<omni::OmniNodeMac*> raw(topo.num_nodes(), nullptr);
-    for (const topo::Node& n : topo.nodes()) {
-      auto node = std::make_unique<omni::OmniNodeMac>(
-          sim, medium, n.id, cfg.wifi, delivery_fn());
-      macs[static_cast<std::size_t>(n.id)] = node.get();
-      raw[static_cast<std::size_t>(n.id)] = node.get();
-      omni_nodes.push_back(std::move(node));
-    }
-    omni_sched = std::make_unique<omni::OmniscientScheduler>(
-        sim, medium, *graph, cfg.wifi, std::move(raw));
-    omni_sched->start(usec(100));
-  }
-
-  void build_domino() {
-    macs.assign(topo.num_nodes(), nullptr);
-    signatures = std::make_unique<domino::SignaturePlan>(topo.num_nodes());
-    backbone = std::make_unique<wired::Backbone>(sim, cfg.backbone,
-                                                 root.fork());
-
-    domino::DominoTiming timing;
-    timing.wifi = cfg.wifi;
-    timing.payload_bytes = cfg.traffic.packet_bytes;
-
+  void build_stack() {
     if (cfg.record_timeline) {
       timeline = std::make_shared<TimelineRecorder>();
       trace.on_data_tx = [this](std::uint64_t slot, topo::NodeId s,
@@ -243,59 +182,19 @@ struct Experiment::Impl {
         timeline->record_poll(slot, ap, t);
       };
     }
-    domino::DominoTrace* trace_ptr = cfg.record_timeline ? &trace : nullptr;
 
-    cfg.domino.payload_bytes = cfg.traffic.packet_bytes;
-    controller = std::make_unique<domino::DominoController>(
-        sim, *backbone, topo, *graph, *signatures, cfg.domino, cfg.converter,
-        timing.slot_duration(), timing.rop_duration());
-
-    // APs with subchannel allocation for their clients.
-    rop::SubchannelAllocator alloc(cfg.rop);
-    std::map<topo::NodeId, domino::DominoApMac*> ap_map;
-    std::map<topo::NodeId, std::size_t> subchannel_of;
-    for (topo::NodeId ap : topo.aps()) {
-      const std::vector<topo::NodeId> clients = topo.clients_of(ap);
-      std::vector<double> rss;
-      rss.reserve(clients.size());
-      for (topo::NodeId c : clients) rss.push_back(topo.rss(ap, c));
-      const auto assigns = alloc.assign(clients, rss);
-
-      auto report_fn = [this](const domino::ApReport& rep) {
-        backbone->send([this, rep] { controller->on_ap_report(rep); });
-      };
-      auto node = std::make_unique<domino::DominoApMac>(
-          sim, medium, ap, timing, *signatures, cfg.sig_model, cfg.rop,
-          root.fork(), delivery_fn(), report_fn, trace_ptr);
-      std::vector<domino::DominoApMac::ClientInfo> infos;
-      for (const auto& a : assigns) {
-        infos.push_back(domino::DominoApMac::ClientInfo{
-            a.client, a.subchannel, topo.rss(ap, a.client)});
-        subchannel_of[a.client] = a.subchannel;
-      }
-      node->set_clients(std::move(infos));
-      macs[static_cast<std::size_t>(ap)] = node.get();
-      ap_map[ap] = node.get();
-      domino_aps.push_back(std::move(node));
-    }
-    for (topo::NodeId c : topo.all_clients()) {
-      auto node = std::make_unique<domino::DominoClientMac>(
-          sim, medium, c, topo.node(c).ap, subchannel_of[c], timing,
-          *signatures, cfg.sig_model, root.fork(), delivery_fn(), trace_ptr);
-      macs[static_cast<std::size_t>(c)] = node.get();
-      domino_clients.push_back(std::move(node));
-    }
-
-    controller->set_dispatch([ap_map](const domino::ApSchedule& plan) {
-      const auto it = ap_map.find(plan.ap);
-      if (it != ap_map.end()) it->second->receive_plan(plan);
-    });
-    controller->set_downlink_peek([ap_map](const topo::Link& l) {
-      const auto it = ap_map.find(l.sender);
-      return it == ap_map.end() ? std::size_t{0}
-                                : it->second->queued_for(l.receiver);
-    });
-    controller->start(usec(100));
+    stack = SchemeStackRegistry::instance().create(
+        cfg.effective_scheme_name());
+    StackContext ctx{sim,
+                     medium,
+                     topo,
+                     cfg,
+                     *graph,
+                     root,
+                     delivery_fn(),
+                     cfg.record_timeline ? &trace : nullptr};
+    macs.assign(topo.num_nodes(), nullptr);
+    stack->build(ctx, macs);
   }
 
   ExperimentResult run() {
@@ -304,20 +203,7 @@ struct Experiment::Impl {
     graph = std::make_unique<topo::ConflictGraph>(
         topo::ConflictGraph::build(topo, links));
 
-    switch (cfg.scheme) {
-      case Scheme::kDcf:
-        build_dcf();
-        break;
-      case Scheme::kCentaur:
-        build_centaur();
-        break;
-      case Scheme::kOmniscient:
-        build_omniscient();
-        break;
-      case Scheme::kDomino:
-        build_domino();
-        break;
-    }
+    build_stack();
     build_traffic();
 
     sim.run_until(cfg.duration);
@@ -339,23 +225,7 @@ struct Experiment::Impl {
         stats.aggregate_throughput_bps(cfg.duration);
     result.jain_fairness = traffic::FlowStats::jain_index(xs);
     result.mean_delay_us = stats.mean_delay_us_all();
-    for (const auto& n : dcf_nodes) {
-      result.ack_timeouts += n->ack_timeouts();
-      result.mac_drops += n->drops();
-    }
-    for (const auto& n : domino_aps) {
-      result.ack_timeouts += n->ack_timeouts();
-      result.domino_self_starts += n->self_starts();
-      result.domino_missed_rows += n->missed_rows();
-      result.domino_rows_executed += n->rows_executed();
-    }
-    for (const auto& n : domino_clients) {
-      result.ack_timeouts += n->ack_timeouts();
-    }
-    if (controller) {
-      result.domino_untriggerable = controller->converter().untriggerable_drops();
-      result.domino_batches = controller->batches_planned();
-    }
+    stack->collect(result);
     result.timeline = timeline;
     return result;
   }

@@ -10,6 +10,7 @@
 //   api::ExperimentResult r = api::Experiment(topology, cfg).run();
 
 #include <memory>
+#include <string>
 
 #include "api/metrics.h"
 #include "centaur/centaur.h"
@@ -53,6 +54,10 @@ struct TrafficSpec {
 
 struct ExperimentConfig {
   Scheme scheme = Scheme::kDcf;
+  /// When non-empty, selects the SchemeStack by registry name instead of
+  /// `scheme` — the hook for plugged-in schemes and ablation variants that
+  /// have no enum value (see api/scheme_stack.h).
+  std::string scheme_name;
   TrafficSpec traffic;
   TimeNs duration = sec(50);
   std::uint64_t seed = 1;
@@ -67,6 +72,12 @@ struct ExperimentConfig {
   traffic::TcpParams tcp;
 
   bool record_timeline = false;
+
+  /// The registry key this config resolves to: `scheme_name` when set,
+  /// otherwise the enum's canonical name.
+  std::string effective_scheme_name() const {
+    return scheme_name.empty() ? to_string(scheme) : scheme_name;
+  }
 };
 
 class Experiment {

@@ -1,0 +1,108 @@
+#pragma once
+// The scheme-plugin seam of the experiment layer.
+//
+// A SchemeStack owns everything specific to one channel-access scheme: the
+// per-node MAC entities, controllers, backbones and signature plans. The
+// Experiment facade owns the shared substrate (simulator, medium, topology,
+// conflict graph, traffic sources, flow stats) and hands it to the stack
+// through a StackContext. Stacks register themselves by name in the
+// SchemeStackRegistry, so adding a scheme (or an ablation variant of an
+// existing one) means adding one file under src/api/stacks/ and one
+// registration call — the facade, benches and tests need no changes.
+//
+//   class MyStack : public SchemeStack { ... };
+//   SchemeStackRegistry::instance().add("MY-SCHEME", [] {
+//     return std::make_unique<MyStack>();
+//   });
+//   cfg.scheme_name = "MY-SCHEME";  // overrides cfg.scheme when non-empty
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mac/mac_common.h"
+#include "topo/conflict_graph.h"
+#include "topo/topology.h"
+#include "util/rng.h"
+
+namespace dmn::sim {
+class Simulator;
+}
+namespace dmn::phy {
+class Medium;
+}
+namespace dmn::domino {
+struct DominoTrace;
+}
+
+namespace dmn::api {
+
+struct ExperimentConfig;
+struct ExperimentResult;
+
+/// Everything a stack may depend on, owned by the Experiment facade. Stacks
+/// must not reach past this struct: no globals, no facade internals. The
+/// `rng` is the experiment's root generator — fork() per stochastic
+/// component so schemes draw from independent streams.
+struct StackContext {
+  sim::Simulator& sim;
+  phy::Medium& medium;
+  const topo::Topology& topo;
+  const ExperimentConfig& cfg;
+  /// Conflict graph over the directions the traffic spec exercises.
+  const topo::ConflictGraph& graph;
+  Rng& rng;
+  /// Invoked when a data packet is decoded at its MAC destination.
+  mac::DeliveryFn deliver;
+  /// Non-null when the config asked for timeline recording; stacks that
+  /// support tracing should wire their tx/poll events into it.
+  domino::DominoTrace* trace = nullptr;
+};
+
+/// One channel-access scheme's assembly and bookkeeping. Lifetime: built
+/// once per experiment, outlives the simulation run, queried for
+/// scheme-specific metrics afterwards.
+class SchemeStack {
+ public:
+  virtual ~SchemeStack() = default;
+
+  /// Instantiate the scheme's MAC entities and controllers. `macs` arrives
+  /// sized to the node count, all null; the stack must install one entity
+  /// per node (indexed by NodeId).
+  virtual void build(StackContext& ctx,
+                     std::vector<mac::MacEntity*>& macs) = 0;
+
+  /// Accumulate scheme-specific counters (ACK timeouts, drops, DOMINO
+  /// diagnostics, ...) into the result after the simulation ran.
+  virtual void collect(ExperimentResult& result) const = 0;
+};
+
+using SchemeStackFactory = std::function<std::unique_ptr<SchemeStack>()>;
+
+/// Name -> factory registry. The four built-in schemes self-register on
+/// first access; callers may add further schemes at any time (ablation
+/// variants, experimental stacks) and select them via
+/// ExperimentConfig::scheme_name.
+class SchemeStackRegistry {
+ public:
+  static SchemeStackRegistry& instance();
+
+  /// Registers (or replaces) a factory under `name`.
+  void add(const std::string& name, SchemeStackFactory factory);
+
+  bool contains(const std::string& name) const;
+
+  /// Throws std::out_of_range naming the scheme and the known schemes when
+  /// `name` is not registered.
+  std::unique_ptr<SchemeStack> create(const std::string& name) const;
+
+  /// Registered names, sorted.
+  std::vector<std::string> names() const;
+
+ private:
+  std::map<std::string, SchemeStackFactory> factories_;
+};
+
+}  // namespace dmn::api

@@ -1,0 +1,32 @@
+#include "api/stacks/centaur_stack.h"
+
+#include <map>
+
+#include "api/experiment.h"
+#include "api/metrics.h"
+
+namespace dmn::api {
+
+void CentaurStack::build(StackContext& ctx,
+                         std::vector<mac::MacEntity*>& macs) {
+  dcf_.build(ctx, macs);
+  const auto dl = ctx.topo.make_links(/*downlink=*/true, /*uplink=*/false);
+  downlink_graph_ = std::make_unique<topo::ConflictGraph>(
+      topo::ConflictGraph::build(ctx.topo, dl));
+  backbone_ = std::make_unique<wired::Backbone>(ctx.sim, ctx.cfg.backbone,
+                                                ctx.rng.fork());
+  std::map<topo::NodeId, mac::DcfNode*> ap_macs;
+  for (const auto& n : dcf_.nodes()) {
+    if (ctx.topo.node(n->node()).is_ap) ap_macs[n->node()] = n.get();
+  }
+  controller_ = std::make_unique<centaur::CentaurController>(
+      ctx.sim, *backbone_, *downlink_graph_, ctx.cfg.centaur,
+      std::move(ap_macs));
+  controller_->start(usec(100));
+}
+
+void CentaurStack::collect(ExperimentResult& result) const {
+  dcf_.collect(result);
+}
+
+}  // namespace dmn::api

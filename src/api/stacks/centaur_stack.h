@@ -1,0 +1,30 @@
+#pragma once
+// CENTAUR: DCF at every node plus a wired controller that schedules the
+// downlink conflict graph epoch by epoch.
+
+#include <memory>
+#include <vector>
+
+#include "api/scheme_stack.h"
+#include "api/stacks/dcf_stack.h"
+#include "centaur/centaur.h"
+#include "topo/conflict_graph.h"
+#include "wired/backbone.h"
+
+namespace dmn::api {
+
+inline constexpr const char* kCentaurStackName = "CENTAUR";
+
+class CentaurStack : public SchemeStack {
+ public:
+  void build(StackContext& ctx, std::vector<mac::MacEntity*>& macs) override;
+  void collect(ExperimentResult& result) const override;
+
+ private:
+  DcfStack dcf_;
+  std::unique_ptr<topo::ConflictGraph> downlink_graph_;
+  std::unique_ptr<wired::Backbone> backbone_;
+  std::unique_ptr<centaur::CentaurController> controller_;
+};
+
+}  // namespace dmn::api

@@ -1,0 +1,25 @@
+#include "api/stacks/dcf_stack.h"
+
+#include "api/experiment.h"
+#include "api/metrics.h"
+
+namespace dmn::api {
+
+void DcfStack::build(StackContext& ctx, std::vector<mac::MacEntity*>& macs) {
+  for (const topo::Node& n : ctx.topo.nodes()) {
+    auto node = std::make_unique<mac::DcfNode>(ctx.sim, ctx.medium, n.id,
+                                               ctx.cfg.wifi, ctx.rng.fork(),
+                                               ctx.deliver);
+    macs[static_cast<std::size_t>(n.id)] = node.get();
+    nodes_.push_back(std::move(node));
+  }
+}
+
+void DcfStack::collect(ExperimentResult& result) const {
+  for (const auto& n : nodes_) {
+    result.ack_timeouts += n->ack_timeouts();
+    result.mac_drops += n->drops();
+  }
+}
+
+}  // namespace dmn::api

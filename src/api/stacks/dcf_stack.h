@@ -1,0 +1,29 @@
+#pragma once
+// 802.11 DCF: one contention-based DcfNode per node, no controller.
+
+#include <memory>
+#include <vector>
+
+#include "api/scheme_stack.h"
+#include "mac/dcf.h"
+
+namespace dmn::api {
+
+inline constexpr const char* kDcfStackName = "DCF";
+
+class DcfStack : public SchemeStack {
+ public:
+  void build(StackContext& ctx, std::vector<mac::MacEntity*>& macs) override;
+  void collect(ExperimentResult& result) const override;
+
+  /// CENTAUR composes on top of the DCF substrate and needs the concrete
+  /// nodes to hand its controller the AP-side queues.
+  const std::vector<std::unique_ptr<mac::DcfNode>>& nodes() const {
+    return nodes_;
+  }
+
+ private:
+  std::vector<std::unique_ptr<mac::DcfNode>> nodes_;
+};
+
+}  // namespace dmn::api

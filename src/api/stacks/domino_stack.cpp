@@ -1,0 +1,106 @@
+#include "api/stacks/domino_stack.h"
+
+#include <map>
+#include <stdexcept>
+#include <string>
+
+#include "api/experiment.h"
+#include "api/metrics.h"
+#include "rop/rop_protocol.h"
+
+namespace dmn::api {
+
+void DominoStack::build(StackContext& ctx,
+                        std::vector<mac::MacEntity*>& macs) {
+  const topo::Topology& topo = ctx.topo;
+  const ExperimentConfig& cfg = ctx.cfg;
+
+  signatures_ = std::make_unique<domino::SignaturePlan>(topo.num_nodes());
+  backbone_ = std::make_unique<wired::Backbone>(ctx.sim, cfg.backbone,
+                                                ctx.rng.fork());
+
+  domino::DominoTiming timing;
+  timing.wifi = cfg.wifi;
+  timing.payload_bytes = cfg.traffic.packet_bytes;
+
+  domino::DominoParams domino_params = cfg.domino;
+  domino_params.payload_bytes = cfg.traffic.packet_bytes;
+  controller_ = std::make_unique<domino::DominoController>(
+      ctx.sim, *backbone_, topo, ctx.graph, *signatures_, domino_params,
+      cfg.converter, timing.slot_duration(), timing.rop_duration());
+
+  // APs with subchannel allocation for their clients.
+  rop::SubchannelAllocator alloc(cfg.rop);
+  std::map<topo::NodeId, domino::DominoApMac*> ap_map;
+  std::map<topo::NodeId, std::size_t> subchannel_of;
+  for (topo::NodeId ap : topo.aps()) {
+    const std::vector<topo::NodeId> clients = topo.clients_of(ap);
+    std::vector<double> rss;
+    rss.reserve(clients.size());
+    for (topo::NodeId c : clients) rss.push_back(topo.rss(ap, c));
+    const auto assigns = alloc.assign(clients, rss);
+
+    auto report_fn = [this](const domino::ApReport& rep) {
+      backbone_->send([this, rep] { controller_->on_ap_report(rep); });
+    };
+    auto node = std::make_unique<domino::DominoApMac>(
+        ctx.sim, ctx.medium, ap, timing, *signatures_, cfg.sig_model,
+        cfg.rop, ctx.rng.fork(), ctx.deliver, report_fn, ctx.trace);
+    std::vector<domino::DominoApMac::ClientInfo> infos;
+    for (const auto& a : assigns) {
+      infos.push_back(domino::DominoApMac::ClientInfo{
+          a.client, a.subchannel, topo.rss(ap, a.client)});
+      subchannel_of[a.client] = a.subchannel;
+    }
+    node->set_clients(std::move(infos));
+    macs[static_cast<std::size_t>(ap)] = node.get();
+    ap_map[ap] = node.get();
+    aps_.push_back(std::move(node));
+  }
+  for (topo::NodeId c : topo.all_clients()) {
+    // A client its AP never assigned a subchannel would silently collide on
+    // subchannel 0; fail loudly instead so topology bugs surface.
+    const auto sc = subchannel_of.find(c);
+    if (sc == subchannel_of.end()) {
+      throw std::runtime_error(
+          "DOMINO: client " + std::to_string(c) + " (AP " +
+          std::to_string(topo.node(c).ap) +
+          ") received no ROP subchannel assignment");
+    }
+    auto node = std::make_unique<domino::DominoClientMac>(
+        ctx.sim, ctx.medium, c, topo.node(c).ap, sc->second, timing,
+        *signatures_, cfg.sig_model, ctx.rng.fork(), ctx.deliver, ctx.trace);
+    macs[static_cast<std::size_t>(c)] = node.get();
+    clients_.push_back(std::move(node));
+  }
+
+  controller_->set_dispatch([ap_map](const domino::ApSchedule& plan) {
+    const auto it = ap_map.find(plan.ap);
+    if (it != ap_map.end()) it->second->receive_plan(plan);
+  });
+  controller_->set_downlink_peek([ap_map](const topo::Link& l) {
+    const auto it = ap_map.find(l.sender);
+    return it == ap_map.end() ? std::size_t{0}
+                              : it->second->queued_for(l.receiver);
+  });
+  controller_->start(usec(100));
+}
+
+void DominoStack::collect(ExperimentResult& result) const {
+  for (const auto& n : aps_) {
+    result.ack_timeouts += n->ack_timeouts();
+    result.domino_self_starts += n->self_starts();
+    result.domino_missed_rows += n->missed_rows();
+    result.domino_rows_executed += n->rows_executed();
+  }
+  for (const auto& n : clients_) {
+    result.ack_timeouts += n->ack_timeouts();
+  }
+  if (controller_) {
+    result.domino_untriggerable =
+        controller_->converter().untriggerable_drops();
+    result.domino_batches = controller_->batches_planned();
+  }
+}
+
+}  // namespace dmn::api

@@ -1,0 +1,31 @@
+#pragma once
+// DOMINO: relative-schedule APs and clients, the wired controller with the
+// schedule converter, per-node Gold signatures, and the ROP polling plane.
+
+#include <memory>
+#include <vector>
+
+#include "api/scheme_stack.h"
+#include "domino/controller.h"
+#include "domino/domino_mac.h"
+#include "domino/signature_plan.h"
+#include "wired/backbone.h"
+
+namespace dmn::api {
+
+inline constexpr const char* kDominoStackName = "DOMINO";
+
+class DominoStack : public SchemeStack {
+ public:
+  void build(StackContext& ctx, std::vector<mac::MacEntity*>& macs) override;
+  void collect(ExperimentResult& result) const override;
+
+ private:
+  std::unique_ptr<domino::SignaturePlan> signatures_;
+  std::unique_ptr<wired::Backbone> backbone_;
+  std::unique_ptr<domino::DominoController> controller_;
+  std::vector<std::unique_ptr<domino::DominoApMac>> aps_;
+  std::vector<std::unique_ptr<domino::DominoClientMac>> clients_;
+};
+
+}  // namespace dmn::api

@@ -1,0 +1,95 @@
+#include "api/sweep.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace dmn::api {
+
+SweepRunner::SweepRunner(SweepOptions options)
+    : options_(std::move(options)) {}
+
+std::vector<ExperimentResult> SweepRunner::run(
+    const std::vector<SweepPoint>& points) {
+  std::vector<ExperimentResult> results(points.size());
+  std::size_t threads = options_.num_threads != 0
+                            ? options_.num_threads
+                            : std::thread::hardware_concurrency();
+  threads = std::max<std::size_t>(1, std::min(threads, points.size()));
+
+  const auto t0 = std::chrono::steady_clock::now();
+
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex mu;  // guards first_error and on_progress
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= points.size()) return;
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (first_error) return;  // stop pulling new points after a failure
+      }
+      try {
+        results[i] = run_experiment(points[i].topology, points[i].config);
+      } catch (...) {
+        const std::lock_guard<std::mutex> lock(mu);
+        if (!first_error) first_error = std::current_exception();
+        continue;
+      }
+      const std::size_t finished = done.fetch_add(1) + 1;
+      if (options_.on_progress) {
+        const std::lock_guard<std::mutex> lock(mu);
+        options_.on_progress(finished, points.size());
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();  // serial reference path: no pool, same code
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (std::size_t t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+
+  stats_.points = points.size();
+  stats_.threads = threads;
+  stats_.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+std::size_t sweep_threads_from_env() {
+  if (const char* v = std::getenv("DMN_SWEEP_THREADS")) {
+    const long n = std::atol(v);
+    if (n > 0) return static_cast<std::size_t>(n);
+  }
+  return 0;  // auto
+}
+
+std::vector<SweepPoint> seed_sweep(const topo::Topology& topology,
+                                   const ExperimentConfig& base,
+                                   std::uint64_t first_seed,
+                                   std::size_t count) {
+  std::vector<SweepPoint> points;
+  points.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    SweepPoint p{topology, base, "seed " + std::to_string(first_seed + i)};
+    p.config.seed = first_seed + i;
+    points.push_back(std::move(p));
+  }
+  return points;
+}
+
+}  // namespace dmn::api

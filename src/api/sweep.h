@@ -1,0 +1,83 @@
+#pragma once
+// Parallel sweep runner: every figure in the paper is a sweep — the same
+// scheme stack rebuilt and re-run across seeds, rates and client counts.
+// SweepRunner makes that the first-class unit of work: hand it a vector of
+// (topology, config) points and it fans them across a thread pool, one
+// Simulator per point, and returns results in point order.
+//
+// Determinism contract: a point's result depends only on its own topology
+// and config (which carries the seed). Points share no mutable state, so a
+// sweep run with 1 thread and with N threads produces bit-identical
+// results; parallelism only changes wall-clock time.
+//
+//   std::vector<api::SweepPoint> points;
+//   for (std::uint64_t s = 0; s < 16; ++s)
+//     points.push_back({topo, with_seed(cfg, s)});
+//   api::SweepRunner runner;                      // all hardware threads
+//   const auto results = runner.run(points);      // ordered like `points`
+//   runner.stats().wall_seconds;                  // for speedup reporting
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "api/experiment.h"
+#include "topo/topology.h"
+
+namespace dmn::api {
+
+/// One experiment in a sweep. The topology is held by value so points stay
+/// self-contained (a sweep may mutate per-point topologies or share one).
+struct SweepPoint {
+  topo::Topology topology;
+  ExperimentConfig config;
+  /// Carried through untouched; benches use it to label printed rows.
+  std::string label;
+};
+
+struct SweepOptions {
+  /// 0 picks std::thread::hardware_concurrency(); the pool never exceeds
+  /// the point count. 1 reproduces the serial loop exactly.
+  std::size_t num_threads = 0;
+  /// Called after each point completes (from worker threads, serialized).
+  std::function<void(std::size_t done, std::size_t total)> on_progress;
+};
+
+struct SweepStats {
+  std::size_t points = 0;
+  std::size_t threads = 0;
+  double wall_seconds = 0.0;
+};
+
+class SweepRunner {
+ public:
+  explicit SweepRunner(SweepOptions options = {});
+
+  /// Runs every point and returns the results in point order. A point that
+  /// throws aborts the sweep: remaining points still finish or are skipped,
+  /// then the first exception is rethrown on the calling thread.
+  std::vector<ExperimentResult> run(const std::vector<SweepPoint>& points);
+
+  /// Wall-clock and pool statistics of the last run().
+  const SweepStats& stats() const { return stats_; }
+
+ private:
+  SweepOptions options_;
+  SweepStats stats_;
+};
+
+/// Thread count honouring the DMN_SWEEP_THREADS environment override; used
+/// by benches so one knob controls every sweep.
+std::size_t sweep_threads_from_env();
+
+/// Convenience builder: `count` copies of (topology, base) whose seeds run
+/// first_seed, first_seed+1, ... — the common "N seeds, same scenario"
+/// sweep shape.
+std::vector<SweepPoint> seed_sweep(const topo::Topology& topology,
+                                   const ExperimentConfig& base,
+                                   std::uint64_t first_seed,
+                                   std::size_t count);
+
+}  // namespace dmn::api

@@ -1,9 +1,12 @@
 #include "util/log.h"
 
+#include <atomic>
+
 namespace dmn {
 namespace {
 
-LogLevel g_level = LogLevel::kWarn;
+// Atomic: SweepRunner workers query the threshold concurrently.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -17,12 +20,14 @@ const char* tag(LogLevel level) {
 
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
 
-LogLevel log_level() { return g_level; }
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 bool log_enabled(LogLevel level) {
-  return static_cast<int>(level) <= static_cast<int>(g_level);
+  return static_cast<int>(level) <= static_cast<int>(log_level());
 }
 
 void log_message(LogLevel level, const std::string& msg) {

@@ -1,0 +1,193 @@
+// Tests for the scheme-plugin + sweep layer: registry contents, plugin
+// registration, the determinism contract (1-thread vs N-thread sweeps are
+// bit-identical), and error propagation out of the pool.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/experiment.h"
+#include "api/scheme_stack.h"
+#include "api/stacks/dcf_stack.h"
+#include "api/sweep.h"
+#include "topo/topology.h"
+
+namespace dmn::api {
+namespace {
+
+topo::Topology two_cells() {
+  topo::ManualTopologyBuilder b;
+  const auto a0 = b.add_ap();
+  const auto a1 = b.add_ap();
+  b.add_client(a0);
+  b.add_client(a1);
+  b.sense(a0, a1);
+  return b.build();
+}
+
+ExperimentConfig base_config() {
+  ExperimentConfig cfg;
+  cfg.duration = msec(300);
+  cfg.traffic.saturate_downlink = true;
+  return cfg;
+}
+
+void expect_identical(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_DOUBLE_EQ(a.aggregate_throughput_bps, b.aggregate_throughput_bps);
+  EXPECT_DOUBLE_EQ(a.mean_delay_us, b.mean_delay_us);
+  EXPECT_DOUBLE_EQ(a.jain_fairness, b.jain_fairness);
+  EXPECT_EQ(a.ack_timeouts, b.ack_timeouts);
+  EXPECT_EQ(a.mac_drops, b.mac_drops);
+  ASSERT_EQ(a.links.size(), b.links.size());
+  for (std::size_t i = 0; i < a.links.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.links[i].throughput_bps, b.links[i].throughput_bps);
+    EXPECT_DOUBLE_EQ(a.links[i].mean_delay_us, b.links[i].mean_delay_us);
+    EXPECT_EQ(a.links[i].delivered, b.links[i].delivered);
+  }
+}
+
+// ---- registry --------------------------------------------------------------
+
+TEST(SchemeStackRegistry, BuiltinsRegistered) {
+  auto& reg = SchemeStackRegistry::instance();
+  for (Scheme s : {Scheme::kDcf, Scheme::kCentaur, Scheme::kDomino,
+                   Scheme::kOmniscient}) {
+    EXPECT_TRUE(reg.contains(to_string(s))) << to_string(s);
+  }
+  EXPECT_GE(reg.names().size(), 4u);
+}
+
+TEST(SchemeStackRegistry, UnknownSchemeThrowsWithKnownNames) {
+  auto& reg = SchemeStackRegistry::instance();
+  try {
+    reg.create("NO-SUCH-SCHEME");
+    FAIL() << "expected std::out_of_range";
+  } catch (const std::out_of_range& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("NO-SUCH-SCHEME"), std::string::npos);
+    EXPECT_NE(msg.find("DOMINO"), std::string::npos);
+  }
+}
+
+// Every registered scheme must assemble and run through the stack path.
+TEST(SchemeStackRegistry, EveryRegisteredSchemeBuildsAndRuns) {
+  for (const std::string& name : SchemeStackRegistry::instance().names()) {
+    ExperimentConfig cfg = base_config();
+    cfg.scheme_name = name;
+    const auto r = run_experiment(two_cells(), cfg);
+    EXPECT_GT(r.throughput_mbps(), 1.0) << name;
+    EXPECT_EQ(r.links.size(), 2u) << name;
+  }
+}
+
+// scheme_name and the enum must resolve to the same stack (parity with the
+// pre-plugin facade exercised by api_test).
+TEST(SchemeStackRegistry, NameAndEnumSelectionAgree) {
+  for (Scheme s : {Scheme::kDcf, Scheme::kCentaur, Scheme::kDomino,
+                   Scheme::kOmniscient}) {
+    ExperimentConfig by_enum = base_config();
+    by_enum.scheme = s;
+    ExperimentConfig by_name = base_config();
+    by_name.scheme_name = to_string(s);
+    expect_identical(run_experiment(two_cells(), by_enum),
+                     run_experiment(two_cells(), by_name));
+  }
+}
+
+// A plugged-in scheme (here: a trivially derived DCF variant) runs without
+// any facade change — the point of the plugin seam.
+TEST(SchemeStackRegistry, CustomStackPlugsIn) {
+  class NarrowQueueDcf : public DcfStack {
+   public:
+    void build(StackContext& ctx,
+               std::vector<mac::MacEntity*>& macs) override {
+      DcfStack::build(ctx, macs);
+    }
+  };
+  SchemeStackRegistry::instance().add(
+      "DCF-TEST-VARIANT", [] { return std::make_unique<NarrowQueueDcf>(); });
+  ExperimentConfig cfg = base_config();
+  cfg.scheme_name = "DCF-TEST-VARIANT";
+  const auto r = run_experiment(two_cells(), cfg);
+  EXPECT_GT(r.throughput_mbps(), 1.0);
+  // Identical assembly must give identical results to stock DCF.
+  ExperimentConfig stock = base_config();
+  stock.scheme = Scheme::kDcf;
+  expect_identical(run_experiment(two_cells(), stock), r);
+}
+
+// ---- sweep runner ----------------------------------------------------------
+
+TEST(SweepRunner, SeedSweepBuilderShapesPoints) {
+  const auto points = seed_sweep(two_cells(), base_config(), 100, 5);
+  ASSERT_EQ(points.size(), 5u);
+  EXPECT_EQ(points.front().config.seed, 100u);
+  EXPECT_EQ(points.back().config.seed, 104u);
+  EXPECT_EQ(points.front().label, "seed 100");
+}
+
+// The acceptance-criterion test: a 16-point seed sweep run serially and on
+// a pool produces identical results, for every scheme.
+TEST(SweepRunner, ParallelIdenticalToSerial16Seeds) {
+  for (Scheme s : {Scheme::kDcf, Scheme::kCentaur, Scheme::kDomino,
+                   Scheme::kOmniscient}) {
+    ExperimentConfig cfg = base_config();
+    cfg.scheme = s;
+    cfg.duration = msec(150);
+    const auto points = seed_sweep(two_cells(), cfg, 1, 16);
+
+    SweepRunner serial({1, nullptr});
+    SweepRunner pooled({4, nullptr});
+    const auto a = serial.run(points);
+    const auto b = pooled.run(points);
+    EXPECT_EQ(serial.stats().threads, 1u);
+    EXPECT_EQ(pooled.stats().threads, 4u);
+    ASSERT_EQ(a.size(), 16u);
+    ASSERT_EQ(b.size(), 16u);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      SCOPED_TRACE(std::string(to_string(s)) + " point " +
+                   std::to_string(i));
+      expect_identical(a[i], b[i]);
+    }
+  }
+}
+
+TEST(SweepRunner, DistinctSeedsGiveDistinctResults) {
+  ExperimentConfig cfg = base_config();
+  cfg.scheme = Scheme::kDcf;
+  const auto results = SweepRunner({2, nullptr})
+                           .run(seed_sweep(two_cells(), cfg, 1, 2));
+  ASSERT_EQ(results.size(), 2u);
+  EXPECT_NE(results[0].mean_delay_us, results[1].mean_delay_us);
+}
+
+TEST(SweepRunner, ProgressCallbackCoversAllPoints) {
+  ExperimentConfig cfg = base_config();
+  cfg.duration = msec(50);
+  std::vector<std::size_t> seen;
+  SweepOptions opts;
+  opts.num_threads = 3;
+  opts.on_progress = [&seen](std::size_t done, std::size_t total) {
+    EXPECT_EQ(total, 6u);
+    seen.push_back(done);
+  };
+  SweepRunner runner(opts);
+  const auto results = runner.run(seed_sweep(two_cells(), cfg, 1, 6));
+  EXPECT_EQ(results.size(), 6u);
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_GT(runner.stats().wall_seconds, 0.0);
+  EXPECT_EQ(runner.stats().points, 6u);
+}
+
+TEST(SweepRunner, PointFailureRethrownOnCaller) {
+  ExperimentConfig cfg = base_config();
+  cfg.duration = msec(50);
+  auto points = seed_sweep(two_cells(), cfg, 1, 4);
+  points[2].config.scheme_name = "NO-SUCH-SCHEME";
+  SweepRunner runner({2, nullptr});
+  EXPECT_THROW(runner.run(points), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace dmn::api
