@@ -1,0 +1,170 @@
+// Chain-resilience bench: graceful-degradation curves per scheme under the
+// fault injector (docs/FAULTS.md). Three one-dimensional severity sweeps —
+// backbone drop rate, external-interference duty cycle, and clock skew —
+// each crossed with every registered comparison scheme on the Figure 7
+// network, so the output shows *relative* robustness: how DOMINO's chain
+// degrades versus DCF / CENTAUR / the omniscient bound under identical
+// impairments. DOMINO rows additionally report the chain-health metrics
+// (missed rows, self-starts, recovery-latency histogram stats).
+
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+using namespace dmn;
+
+namespace {
+
+api::ExperimentConfig base_cfg(api::Scheme scheme) {
+  api::ExperimentConfig cfg;
+  cfg.scheme = scheme;
+  cfg.duration = sec(bench::bench_seconds(2));
+  cfg.seed = 11;
+  cfg.traffic.saturate_downlink = true;
+  return cfg;
+}
+
+constexpr api::Scheme kSchemes[] = {api::Scheme::kDcf, api::Scheme::kCentaur,
+                                    api::Scheme::kDomino,
+                                    api::Scheme::kOmniscient};
+
+struct Pctls {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double max = 0.0;
+};
+
+Pctls recovery_pctls(std::vector<double> samples) {
+  Pctls p;
+  if (samples.empty()) return p;
+  std::sort(samples.begin(), samples.end());
+  p.p50 = samples[samples.size() / 2];
+  p.p95 = samples[(samples.size() * 95) / 100];
+  p.max = samples.back();
+  return p;
+}
+
+}  // namespace
+
+int main() {
+  const auto topo = bench::fig7_topology();
+
+  // axis name -> severity values, applied to one knob each.
+  const std::vector<double> drop_rates = {0.0, 0.02, 0.05, 0.1, 0.2};
+  const std::vector<double> intf_duties = {0.0, 0.05, 0.1, 0.2, 0.3};
+  const std::vector<double> skews_ppm = {0.0, 10.0, 25.0, 50.0, 100.0};
+  // Combined axis: all knobs scaled together (severity 1 is the acceptance
+  // scenario: 5% drop + 10% interference duty + forced signature losses).
+  // Only this axis opens recovery-latency episodes — those require
+  // ground-truth forced trigger losses, which the pure wired/PHY axes
+  // cannot attribute.
+  const std::vector<double> combined = {0.0, 0.5, 1.0, 2.0};
+
+  struct PointMeta {
+    std::string axis;
+    double severity;
+    api::Scheme scheme;
+  };
+  std::vector<api::SweepPoint> points;
+  std::vector<PointMeta> meta;
+
+  auto add = [&](const std::string& axis, double severity,
+                 api::Scheme scheme, const fault::FaultPlan& plan) {
+    api::ExperimentConfig cfg = base_cfg(scheme);
+    cfg.faults = plan;
+    char label[96];
+    std::snprintf(label, sizeof(label), "%s=%.3g %s", axis.c_str(), severity,
+                  api::to_string(scheme));
+    points.push_back({topo, cfg, label});
+    meta.push_back({axis, severity, scheme});
+  };
+
+  for (const api::Scheme s : kSchemes) {
+    for (const double d : drop_rates) {
+      fault::FaultPlan plan;
+      plan.backbone.drop_rate = d;
+      add("backbone_drop", d, s, plan);
+    }
+    for (const double duty : intf_duties) {
+      fault::FaultPlan plan;
+      plan.interference.duty = duty;
+      add("interference_duty", duty, s, plan);
+    }
+    for (const double ppm : skews_ppm) {
+      fault::FaultPlan plan;
+      plan.clock.max_skew_ppm = ppm;
+      add("clock_skew_ppm", ppm, s, plan);
+    }
+    for (const double x : combined) {
+      fault::FaultPlan plan;
+      plan.backbone.drop_rate = 0.05 * x;
+      plan.interference.duty = 0.1 * x;
+      plan.signature.false_negative_rate = 0.02 * x;
+      plan.clock.max_skew_ppm = 25.0 * x;
+      add("combined", x, s, plan);
+    }
+  }
+
+  api::SweepRunner runner({api::sweep_threads_from_env(), nullptr});
+  const auto results = runner.run(points);
+
+  bench::print_header(
+      "chain resilience: degradation curves under injected faults (Fig 7 "
+      "net)");
+  std::printf("%-22s %-10s %8s %9s %7s %7s %6s %6s %6s\n", "axis=severity",
+              "scheme", "Mbps", "fairness", "missed", "selfst", "rec50",
+              "rec95", "recmax");
+  bench::BenchJson json("resilience");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& r = results[i];
+    const auto& m = meta[i];
+    const Pctls rec = recovery_pctls(r.domino_recovery_latency_slots);
+    char axis_sev[32];
+    std::snprintf(axis_sev, sizeof(axis_sev), "%s=%.3g", m.axis.c_str(),
+                  m.severity);
+    std::printf("%-22s %-10s %8.2f %9.3f %7llu %7llu %6.1f %6.1f %6.1f\n",
+                axis_sev, api::to_string(m.scheme), r.throughput_mbps(),
+                r.jain_fairness,
+                static_cast<unsigned long long>(r.domino_missed_rows),
+                static_cast<unsigned long long>(r.domino_self_starts),
+                rec.p50, rec.p95, rec.max);
+    json.add_row()
+        .str("axis", m.axis)
+        .num("severity", m.severity)
+        .str("scheme", api::to_string(m.scheme))
+        .num("throughput_mbps", r.throughput_mbps())
+        .num("jain_fairness", r.jain_fairness)
+        .num("mean_delay_us", r.mean_delay_us)
+        .num("missed_rows", static_cast<double>(r.domino_missed_rows))
+        .num("rows_executed", static_cast<double>(r.domino_rows_executed))
+        .num("self_starts", static_cast<double>(r.domino_self_starts))
+        .num("retry_drops", static_cast<double>(r.domino_retry_drops))
+        .num("anchor_rejections",
+             static_cast<double>(r.domino_anchor_rejections))
+        .num("forced_trigger_losses",
+             static_cast<double>(r.domino_forced_trigger_losses))
+        .num("controller_outage_skips",
+             static_cast<double>(r.domino_controller_outage_skips))
+        .num("backbone_drops", static_cast<double>(r.fault_backbone_drops))
+        .num("interference_bursts",
+             static_cast<double>(r.fault_interference_bursts))
+        .num("recovery_samples",
+             static_cast<double>(r.domino_recovery_latency_slots.size()))
+        .num("recovery_slots_p50", rec.p50)
+        .num("recovery_slots_p95", rec.p95)
+        .num("recovery_slots_max", rec.max)
+        .num("recovery_slots_mean", r.mean_recovery_latency_slots());
+  }
+  std::printf(
+      "\nexpected: DOMINO degrades gracefully (bounded missed rows, small "
+      "recovery latencies) where strict schedules collapse; DCF is "
+      "insensitive to backbone faults but loses air to interference\n");
+  std::printf("sweep: %zu points on %zu threads in %.2fs\n",
+              runner.stats().points, runner.stats().threads,
+              runner.stats().wall_seconds);
+  json.meta("wall_seconds", runner.stats().wall_seconds);
+  return 0;
+}

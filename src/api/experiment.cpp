@@ -3,6 +3,7 @@
 #include <map>
 
 #include "api/scheme_stack.h"
+#include "fault/fault_injector.h"
 #include "phy/medium.h"
 #include "sim/simulator.h"
 #include "topo/conflict_graph.h"
@@ -56,6 +57,11 @@ struct Experiment::Impl {
 
   std::shared_ptr<TimelineRecorder> timeline;
   domino::DominoTrace trace;
+
+  // Built only when cfg.faults has an active knob: the fault-free path
+  // consumes no extra RNG fork and schedules no extra events, keeping its
+  // results byte-identical to builds without the fault subsystem.
+  std::unique_ptr<fault::FaultInjector> injector;
 
   Impl(const topo::Topology& t, ExperimentConfig c)
       : topo(t), cfg(std::move(c)), root(cfg.seed), sim(), medium(sim, topo) {}
@@ -192,7 +198,8 @@ struct Experiment::Impl {
                      *graph,
                      root,
                      delivery_fn(),
-                     cfg.record_timeline ? &trace : nullptr};
+                     cfg.record_timeline ? &trace : nullptr,
+                     injector.get()};
     macs.assign(topo.num_nodes(), nullptr);
     stack->build(ctx, macs);
   }
@@ -203,8 +210,13 @@ struct Experiment::Impl {
     graph = std::make_unique<topo::ConflictGraph>(
         topo::ConflictGraph::build(topo, links));
 
+    if (cfg.faults.any()) {
+      injector = std::make_unique<fault::FaultInjector>(
+          sim, topo.num_nodes(), cfg.faults, root.fork());
+    }
     build_stack();
     build_traffic();
+    if (injector) injector->arm_medium(medium, cfg.duration);
 
     sim.run_until(cfg.duration);
 
@@ -226,6 +238,16 @@ struct Experiment::Impl {
     result.jain_fairness = traffic::FlowStats::jain_index(xs);
     result.mean_delay_us = stats.mean_delay_us_all();
     stack->collect(result);
+    if (injector) {
+      const fault::FaultCounters& fc = injector->counters();
+      result.fault_backbone_drops = fc.backbone_drops;
+      result.fault_backbone_dups = fc.backbone_dups;
+      result.fault_backbone_spikes = fc.backbone_spikes;
+      result.fault_interference_bursts = fc.interference_bursts;
+      result.fault_controller_outage_skips = fc.controller_outage_skips;
+      result.fault_forced_trigger_losses = fc.forced_trigger_losses;
+      result.fault_forced_false_positives = fc.forced_trigger_false_positives;
+    }
     result.timeline = timeline;
     return result;
   }

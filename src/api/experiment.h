@@ -16,6 +16,7 @@
 #include "centaur/centaur.h"
 #include "domino/controller.h"
 #include "domino/domino_mac.h"
+#include "fault/fault_plan.h"
 #include "mac/mac_common.h"
 #include "phy/signature_model.h"
 #include "topo/topology.h"
@@ -70,6 +71,11 @@ struct ExperimentConfig {
   phy::SignatureDetectionModel sig_model;
   rop::RopParams rop;
   traffic::TcpParams tcp;
+
+  /// Scripted impairments (fault/fault_plan.h). Default-constructed plan =
+  /// strict no-op: the injector is not even instantiated, so results stay
+  /// byte-identical to the fault-free path.
+  fault::FaultPlan faults;
 
   bool record_timeline = false;
 

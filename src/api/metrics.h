@@ -19,6 +19,20 @@ struct LinkResult {
   std::uint64_t delivered = 0;
 };
 
+/// Per-AP chain-health snapshot: the recovery counters that were previously
+/// buried in DominoApMac, promoted so benches and tests can see *which* AP
+/// is struggling, not just network totals.
+struct ApChainHealth {
+  topo::NodeId ap = topo::kNoNode;
+  std::uint64_t self_starts = 0;
+  std::uint64_t missed_rows = 0;
+  std::uint64_t ack_timeouts = 0;
+  std::uint64_t retry_drops = 0;
+  std::uint64_t anchor_rejections = 0;
+  std::uint64_t forced_trigger_losses = 0;
+  std::size_t recovery_samples = 0;
+};
+
 struct ExperimentResult {
   std::vector<LinkResult> links;
   double aggregate_throughput_bps = 0.0;
@@ -35,11 +49,36 @@ struct ExperimentResult {
   std::uint64_t domino_rows_executed = 0;
   std::uint64_t domino_untriggerable = 0;
   std::uint64_t domino_batches = 0;
+  std::uint64_t domino_retry_drops = 0;
+  std::uint64_t domino_anchor_rejections = 0;
+  std::uint64_t domino_forced_trigger_losses = 0;
+  std::uint64_t domino_controller_outage_skips = 0;
+  /// Recovery latency samples across all DOMINO nodes: slots elapsed
+  /// between a fault-forced trigger loss and the next chain activity at the
+  /// losing node (trigger detection, row execution, or recovery kick).
+  std::vector<double> domino_recovery_latency_slots;
+  std::vector<ApChainHealth> ap_chain_health;
+
+  /// Ground-truth totals of what the fault injector actually injected
+  /// (all zero when the experiment ran without faults).
+  std::uint64_t fault_backbone_drops = 0;
+  std::uint64_t fault_backbone_dups = 0;
+  std::uint64_t fault_backbone_spikes = 0;
+  std::uint64_t fault_interference_bursts = 0;
+  std::uint64_t fault_controller_outage_skips = 0;
+  std::uint64_t fault_forced_trigger_losses = 0;
+  std::uint64_t fault_forced_false_positives = 0;
 
   /// Present when the config asked for timeline recording (DOMINO only).
   std::shared_ptr<TimelineRecorder> timeline;
 
   double throughput_mbps() const { return aggregate_throughput_bps / 1e6; }
+  double mean_recovery_latency_slots() const {
+    if (domino_recovery_latency_slots.empty()) return 0.0;
+    double acc = 0.0;
+    for (double s : domino_recovery_latency_slots) acc += s;
+    return acc / static_cast<double>(domino_recovery_latency_slots.size());
+  }
 };
 
 /// Pretty one-line summary for benches and examples.

@@ -36,6 +36,9 @@ class Medium;
 namespace dmn::domino {
 struct DominoTrace;
 }
+namespace dmn::fault {
+class FaultInjector;
+}
 
 namespace dmn::api {
 
@@ -59,6 +62,10 @@ struct StackContext {
   /// Non-null when the config asked for timeline recording; stacks that
   /// support tracing should wire their tx/poll events into it.
   domino::DominoTrace* trace = nullptr;
+  /// Non-null only when cfg.faults has an active knob: the per-experiment
+  /// fault injector. Stacks route their backbone, controller and MAC fault
+  /// hooks through it so every scheme runs under the same impairments.
+  fault::FaultInjector* faults = nullptr;
 };
 
 /// One channel-access scheme's assembly and bookkeeping. Lifetime: built

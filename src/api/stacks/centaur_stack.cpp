@@ -4,6 +4,7 @@
 
 #include "api/experiment.h"
 #include "api/metrics.h"
+#include "fault/fault_injector.h"
 
 namespace dmn::api {
 
@@ -15,6 +16,10 @@ void CentaurStack::build(StackContext& ctx,
       topo::ConflictGraph::build(ctx.topo, dl));
   backbone_ = std::make_unique<wired::Backbone>(ctx.sim, ctx.cfg.backbone,
                                                 ctx.rng.fork());
+  if (ctx.faults != nullptr) {
+    backbone_->set_fault_hook(
+        [f = ctx.faults] { return f->backbone_delivery(); });
+  }
   std::map<topo::NodeId, mac::DcfNode*> ap_macs;
   for (const auto& n : dcf_.nodes()) {
     if (ctx.topo.node(n->node()).is_ap) ap_macs[n->node()] = n.get();

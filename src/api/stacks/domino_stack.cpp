@@ -6,7 +6,9 @@
 
 #include "api/experiment.h"
 #include "api/metrics.h"
+#include "fault/fault_injector.h"
 #include "rop/rop_protocol.h"
+#include "sim/simulator.h"
 
 namespace dmn::api {
 
@@ -18,6 +20,10 @@ void DominoStack::build(StackContext& ctx,
   signatures_ = std::make_unique<domino::SignaturePlan>(topo.num_nodes());
   backbone_ = std::make_unique<wired::Backbone>(ctx.sim, cfg.backbone,
                                                 ctx.rng.fork());
+  if (ctx.faults != nullptr) {
+    backbone_->set_fault_hook(
+        [f = ctx.faults] { return f->backbone_delivery(); });
+  }
 
   domino::DominoTiming timing;
   timing.wifi = cfg.wifi;
@@ -28,6 +34,7 @@ void DominoStack::build(StackContext& ctx,
   controller_ = std::make_unique<domino::DominoController>(
       ctx.sim, *backbone_, topo, ctx.graph, *signatures_, domino_params,
       cfg.converter, timing.slot_duration(), timing.rop_duration());
+  if (ctx.faults != nullptr) controller_->set_fault_injector(ctx.faults);
 
   // APs with subchannel allocation for their clients.
   rop::SubchannelAllocator alloc(cfg.rop);
@@ -53,6 +60,19 @@ void DominoStack::build(StackContext& ctx,
       subchannel_of[a.client] = a.subchannel;
     }
     node->set_clients(std::move(infos));
+    if (ctx.faults != nullptr) {
+      node->set_faults(ctx.faults);
+      node->set_clock_skew_ppm(ctx.faults->clock_skew_ppm(ap));
+      // Scripted power outages: one down/up event pair per window.
+      for (const fault::ApOutage& o : ctx.faults->plan().ap_outages) {
+        if (o.ap != ap || o.window.duration <= 0) continue;
+        domino::DominoApMac* raw = node.get();
+        ctx.sim.schedule_at(o.window.start,
+                            [raw] { raw->set_powered(false); });
+        ctx.sim.schedule_at(o.window.end(),
+                            [raw] { raw->set_powered(true); });
+      }
+    }
     macs[static_cast<std::size_t>(ap)] = node.get();
     ap_map[ap] = node.get();
     aps_.push_back(std::move(node));
@@ -70,6 +90,10 @@ void DominoStack::build(StackContext& ctx,
     auto node = std::make_unique<domino::DominoClientMac>(
         ctx.sim, ctx.medium, c, topo.node(c).ap, sc->second, timing,
         *signatures_, cfg.sig_model, ctx.rng.fork(), ctx.deliver, ctx.trace);
+    if (ctx.faults != nullptr) {
+      node->set_faults(ctx.faults);
+      node->set_clock_skew_ppm(ctx.faults->clock_skew_ppm(c));
+    }
     macs[static_cast<std::size_t>(c)] = node.get();
     clients_.push_back(std::move(node));
   }
@@ -92,14 +116,36 @@ void DominoStack::collect(ExperimentResult& result) const {
     result.domino_self_starts += n->self_starts();
     result.domino_missed_rows += n->missed_rows();
     result.domino_rows_executed += n->rows_executed();
+    result.domino_retry_drops += n->retry_drops();
+    result.domino_anchor_rejections += n->anchor_rejections();
+    result.domino_forced_trigger_losses += n->forced_trigger_losses();
+    const auto& lat = n->recovery_latency_slots();
+    result.domino_recovery_latency_slots.insert(
+        result.domino_recovery_latency_slots.end(), lat.begin(), lat.end());
+    ApChainHealth h;
+    h.ap = n->node();
+    h.self_starts = n->self_starts();
+    h.missed_rows = n->missed_rows();
+    h.ack_timeouts = n->ack_timeouts();
+    h.retry_drops = n->retry_drops();
+    h.anchor_rejections = n->anchor_rejections();
+    h.forced_trigger_losses = n->forced_trigger_losses();
+    h.recovery_samples = lat.size();
+    result.ap_chain_health.push_back(h);
   }
   for (const auto& n : clients_) {
     result.ack_timeouts += n->ack_timeouts();
+    result.domino_anchor_rejections += n->anchor_rejections();
+    result.domino_forced_trigger_losses += n->forced_trigger_losses();
+    const auto& lat = n->recovery_latency_slots();
+    result.domino_recovery_latency_slots.insert(
+        result.domino_recovery_latency_slots.end(), lat.begin(), lat.end());
   }
   if (controller_) {
     result.domino_untriggerable =
         controller_->converter().untriggerable_drops();
     result.domino_batches = controller_->batches_planned();
+    result.domino_controller_outage_skips = controller_->outage_skips();
   }
 }
 

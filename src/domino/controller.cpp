@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "fault/fault_injector.h"
+
 namespace dmn::domino {
 
 DominoController::DominoController(sim::Simulator& sim,
@@ -44,6 +46,15 @@ std::vector<std::size_t> DominoController::demand_vector() const {
 
 void DominoController::plan_batch() {
   sim_.cancel(plan_timer_);
+  if (faults_ != nullptr && faults_->controller_down(sim_.now())) {
+    // Controller outage: no planning, no dispatch. Resume at the window's
+    // end; the chain keeps running on the last plans the APs received.
+    ++outage_skips_;
+    faults_->note_controller_outage_skip();
+    plan_timer_ = sim_.schedule_at(faults_->controller_up_at(sim_.now()),
+                                   [this] { plan_batch(); });
+    return;
+  }
   ++batches_;
 
   // Poll every `batches_per_poll` batches.
@@ -101,6 +112,9 @@ void DominoController::plan_batch() {
 }
 
 void DominoController::on_ap_report(const ApReport& report) {
+  if (faults_ != nullptr && faults_->controller_down(sim_.now())) {
+    return;  // the silent controller loses reports addressed to it
+  }
   for (const ClientQueueReport& c : report.clients) {
     const topo::LinkId l = graph_.find(topo::Link{c.client, report.ap});
     if (l != topo::kNoLink) {

@@ -17,6 +17,10 @@
 #include "topo/conflict_graph.h"
 #include "wired/backbone.h"
 
+namespace dmn::fault {
+class FaultInjector;
+}
+
 namespace dmn::domino {
 
 struct DominoParams {
@@ -70,7 +74,15 @@ class DominoController {
   /// APs call this (already backbone-delayed by the AP side).
   void on_ap_report(const ApReport& report);
 
+  /// Fault injection (nullable): while the injector reports a controller
+  /// outage, plan_batch neither plans nor dispatches and incoming AP
+  /// reports are lost; planning resumes when the outage window ends. APs
+  /// keep executing the last received plan meanwhile.
+  void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
+
   std::uint64_t batches_planned() const { return batches_; }
+  /// Planning rounds skipped because the controller was down.
+  std::uint64_t outage_skips() const { return outage_skips_; }
   const ScheduleConverter& converter() const { return converter_; }
   ScheduleConverter& converter() { return converter_; }
 
@@ -89,6 +101,8 @@ class DominoController {
   TimeNs rop_duration_;
   DispatchFn dispatch_;
   DownlinkPeekFn peek_;
+  fault::FaultInjector* faults_ = nullptr;
+  std::uint64_t outage_skips_ = 0;
 
   std::map<topo::LinkId, std::size_t> estimates_;
   std::vector<SlotEntry> prev_last_;

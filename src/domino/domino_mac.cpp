@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "fault/fault_injector.h"
 #include "util/units.h"
 
 namespace dmn::domino {
@@ -39,7 +40,7 @@ DominoNodeBase::DominoNodeBase(sim::Simulator& sim, phy::Medium& medium,
 void DominoNodeBase::send_burst(const std::vector<std::size_t>& codes,
                                 std::uint64_t tag, bool rop_flag,
                                 bool recovery) {
-  if (codes.empty()) return;
+  if (codes.empty() || !powered_) return;
   phy::Frame f;
   f.type = phy::FrameType::kSignature;
   f.dst = topo::kNoNode;  // broadcast
@@ -65,6 +66,7 @@ void DominoNodeBase::update_anchor(std::uint64_t tag, TimeNs t0,
       // Earlier than our lattice: normally the other chain should defer to
       // us — but if every reference we hear is earlier, *we* are the
       // runaway island and must fall back to the network.
+      ++anchor_rejections_total_;
       if (++anchor_rejections_ < 2) return;
     }
   }
@@ -81,11 +83,28 @@ TimeNs DominoNodeBase::expected_start(std::uint64_t tag) const {
   if (!anchor_valid_) return kTimeNever;
   const auto delta = static_cast<std::int64_t>(tag) -
                      static_cast<std::int64_t>(anchor_tag_);
-  return anchor_t0_ + delta * timing_.slot_duration();
+  TimeNs horizon = delta * timing_.slot_duration();
+  if (clock_skew_ppm_ != 0.0) {
+    // A fast local clock (positive ppm) counts off its slots in less true
+    // time. Skew only enters through this extrapolation: per-frame offsets
+    // shift by ppm x 100 us < 1 ns and stay exact.
+    horizon = static_cast<TimeNs>(static_cast<double>(horizon) /
+                                  (1.0 + clock_skew_ppm_ * 1e-6));
+  }
+  return anchor_t0_ + horizon;
+}
+
+void DominoNodeBase::note_chain_resume(TimeNs now) {
+  if (!loss_pending_) return;
+  loss_pending_ = false;
+  recovery_latency_slots_.push_back(
+      static_cast<double>(now - loss_time_) /
+      static_cast<double>(timing_.slot_duration()));
 }
 
 void DominoNodeBase::on_frame_rx(const phy::Frame& frame,
                                  const phy::RxInfo& info) {
+  if (!powered_) return;  // AP outage: the radio is dark
   if (frame.type == phy::FrameType::kSignature) {
     if (info.half_duplex_loss || !frame.burst.has_value()) return;
     sig_buffer_.push_back(BufferedBurst{*frame.burst, info.min_sinr_db,
@@ -112,7 +131,7 @@ void DominoNodeBase::evaluate_sig_buffer() {
   eval_scheduled_ = false;
   std::vector<BufferedBurst> bursts;
   bursts.swap(sig_buffer_);
-  if (bursts.empty()) return;
+  if (bursts.empty() || !powered_) return;
 
   // Total combined signatures on the air — the x-axis of Figure 9.
   int total = 0;
@@ -122,6 +141,27 @@ void DominoNodeBase::evaluate_sig_buffer() {
 
   const std::size_t my_code = signatures_.code_of(node());
   for (const BufferedBurst& b : bursts) {
+    bool has_mine =
+        std::find(b.burst.codes.begin(), b.burst.codes.end(), my_code) !=
+        b.burst.codes.end();
+    const bool triggering =
+        b.burst.start_signature || b.burst.rop_signature;
+
+    // Forced false negative / scripted blackout: the correlator saw noise.
+    // The whole burst is lost to this node — no trigger AND no re-anchor,
+    // which is what makes a stomped signature phase a real chain break.
+    if (faults_ != nullptr &&
+        faults_->suppress_burst(node(), b.end_time, rng_)) {
+      if (has_mine && triggering) {
+        ++forced_trigger_losses_;
+        faults_->note_trigger_loss();
+        if (!loss_pending_) {
+          loss_pending_ = true;
+          loss_time_ = b.end_time;
+        }
+      }
+      continue;
+    }
 
     // A burst that ends at t closed slot `tag`; slot tag+1 starts one slot
     // later. Anchor on the slot start implied by the burst timing —
@@ -133,15 +173,20 @@ void DominoNodeBase::evaluate_sig_buffer() {
                                                : 0));
     }
 
-    const bool has_mine =
-        std::find(b.burst.codes.begin(), b.burst.codes.end(), my_code) !=
-        b.burst.codes.end();
+    // Forced false positive: act on a start burst that did not carry our
+    // code (correlation spike on someone else's signature).
+    if (!has_mine && triggering && !b.burst.recovery &&
+        faults_ != nullptr && faults_->forge_trigger(rng_)) {
+      has_mine = true;
+    }
+
     if (!has_mine) continue;
-    if (!b.burst.start_signature && !b.burst.rop_signature) continue;
+    if (!triggering) continue;
     if (!model_.sample_detect(total, b.sinr_db, rng_)) continue;
     if (trace_ != nullptr && trace_->on_trigger) {
       trace_->on_trigger(b.tag, node(), b.end_time);
     }
+    note_chain_resume(b.end_time);
     on_trigger_detected(b.tag, b.burst.rop_signature, b.end_time);
   }
 }
@@ -197,7 +242,26 @@ void DominoApMac::advance_frontier(std::uint64_t g) {
   frontier_ = std::max(frontier_, g);
 }
 
+void DominoApMac::set_powered(bool on) {
+  if (on == powered_) return;
+  powered_ = on;
+  if (!on) {
+    sim_.cancel(self_start_timer_);
+    sim_.cancel(tx_event_);
+    sim_.cancel(ack_timer_);
+    tx_scheduled_ = false;
+    awaiting_ack_valid_ = false;
+    polling_ = false;
+    poll_responses_.clear();
+  } else {
+    // Restart: resume from the retained schedule on the (possibly stale)
+    // anchor; the first heard trigger re-snaps the lattice.
+    arm_self_start();
+  }
+}
+
 void DominoApMac::receive_plan(const ApSchedule& plan) {
+  if (!powered_) return;  // a dark AP loses its dispatches
   for (const ApSlotPlan& p : plan.slots) {
     auto [it, fresh] = rows_.try_emplace(p.global_index);
     Row& row = it->second;
@@ -287,6 +351,7 @@ void DominoApMac::arm_self_start() {
 }
 
 void DominoApMac::on_self_start_timer() {
+  if (!powered_) return;
   Row* r = next_pending();
   if (r == nullptr) return;
   const std::uint64_t g = r->plan.global_index;
@@ -316,6 +381,7 @@ void DominoApMac::on_self_start_timer() {
         r->kick_sent = true;
         r->kick_deadline = sim_.now() + 2 * timing_.slot_duration();
         ++self_starts_;
+        note_chain_resume(sim_.now());
         send_burst({signatures_.code_of(r->plan.peer)}, g - 1,
                    /*rop_flag=*/false, /*recovery=*/true);
         // Give the client one response window before writing the row off.
@@ -395,6 +461,7 @@ void DominoApMac::schedule_tx(std::uint64_t g, TimeNs at) {
 
 void DominoApMac::execute_tx(std::uint64_t g) {
   tx_scheduled_ = false;
+  if (!powered_) return;
   Row* r = find_row(g);
   if (r == nullptr || r->executed) return;
   if (frontier_ != 0 && g <= frontier_) return;  // stale slot
@@ -405,6 +472,7 @@ void DominoApMac::execute_tx(std::uint64_t g) {
   r->executed = true;
   ++rows_executed_;
   advance_frontier(g);
+  note_chain_resume(sim_.now());
   const ApSlotPlan& p = r->plan;
   const TimeNs t0 = sim_.now();
   // Anchor the chain at the lattice-predicted slot start when we are only
@@ -459,6 +527,8 @@ void DominoApMac::execute_tx(std::uint64_t g) {
             (void)queue_.pop_for(awaiting_peer_);
             tx_attempts_.erase(awaiting_ack_);
             ++retry_drops_;
+          } else {
+            prune_tx_attempts();
           }
         });
   } else {
@@ -485,6 +555,7 @@ void DominoApMac::after_data_phase(const Row& row, TimeNs slot_t0,
 }
 
 void DominoApMac::finish_slot(std::uint64_t g) {
+  if (!powered_) return;
   Row* r = find_row(g);
   if (std::getenv("DMN_PLAN_DEBUG") && r != nullptr && r->plan.polls_in_rop) {
     std::fprintf(stderr, "%10.1f FINISH ap=%d g=%llu role=%d polls=%d\n",
@@ -539,6 +610,13 @@ void DominoApMac::prune_executed(std::uint64_t upto) {
   }
 }
 
+void DominoApMac::prune_tx_attempts() {
+  // Packet ids are monotonic, so map order is age order: evict oldest.
+  while (tx_attempts_.size() > kTxAttemptsCap) {
+    tx_attempts_.erase(tx_attempts_.begin());
+  }
+}
+
 void DominoApMac::execute_poll(std::uint64_t g, TimeNs at) {
   if (std::getenv("DMN_PLAN_DEBUG")) {
     std::fprintf(stderr, "%10.1f POLLREQ ap=%d g=%llu at=%.1f\n",
@@ -546,6 +624,7 @@ void DominoApMac::execute_poll(std::uint64_t g, TimeNs at) {
                  static_cast<unsigned long long>(g), to_usec(at));
   }
   sim_.schedule_at(std::max(at, sim_.now()), [this, g] {
+    if (!powered_) return;
     if (radio_.transmitting()) {
       execute_poll(g, sim_.now() + kTxBusyRetry);
       return;
@@ -570,6 +649,7 @@ void DominoApMac::execute_poll(std::uint64_t g, TimeNs at) {
 
 void DominoApMac::evaluate_poll(std::uint64_t /*g*/) {
   polling_ = false;
+  if (!powered_) return;
   ApReport report;
   report.ap = node();
 
@@ -594,7 +674,7 @@ void DominoApMac::evaluate_poll(std::uint64_t /*g*/) {
     const bool ok = rop_model_.report_decodes(
         r.subchannel, my_rss, others,
         radio_.medium().topology().thresholds().noise_floor_dbm,
-        /*external_intf_mw=*/0.0);
+        radio_.medium().external_interference_mw());
     if (ok) {
       report.clients.push_back(ClientQueueReport{r.client, r.report});
     }
@@ -663,10 +743,7 @@ void DominoApMac::handle_frame(const phy::Frame& frame,
         radio_.send(ack);
       });
       if (is_data && frame.packet.has_value()) {
-        auto& from = seen_[frame.src];
-        if (!from.contains(frame.packet_id)) {
-          from.insert(frame.packet_id);
-          if (from.size() > 4096) from.clear();
+        if (seen_[frame.src].insert(frame.packet_id)) {
           deliver_(*frame.packet, node(), sim_.now());
         }
       }
@@ -674,6 +751,7 @@ void DominoApMac::handle_frame(const phy::Frame& frame,
         match->executed = true;
         ++rows_executed_;
         advance_frontier(match->plan.global_index);
+        note_chain_resume(sim_.now());
         const TimeNs t0 =
             sim_.now() - (is_data ? timing_.data_air() : timing_.fake_air());
         TimeNs anchor_t0 = t0;
@@ -794,6 +872,7 @@ void DominoClientMac::execute_tx(std::uint64_t slot_tag) {
     return;
   }
   last_tx_tag_ = std::max(last_tx_tag_, slot_tag);
+  note_chain_resume(sim_.now());
   const traffic::Packet* head = queue_.front();
   if (trace_ != nullptr && trace_->on_data_tx) {
     trace_->on_data_tx(slot_tag, node(), ap_, sim_.now(), head == nullptr,
@@ -860,9 +939,7 @@ void DominoClientMac::handle_frame(const phy::Frame& frame,
         ack.slot_tag = tag;
         radio_.send(ack);
       });
-      if (!seen_.contains(frame.packet_id)) {
-        seen_.insert(frame.packet_id);
-        if (seen_.size() > 4096) seen_.clear();
+      if (seen_.insert(frame.packet_id)) {
         deliver_(*frame.packet, node(), sim_.now());
       }
       // Rebroadcast the instructed signatures at the slot's signature

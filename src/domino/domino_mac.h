@@ -40,7 +40,39 @@
 #include "traffic/queue.h"
 #include "util/rng.h"
 
+namespace dmn::fault {
+class FaultInjector;
+}
+
 namespace dmn::domino {
+
+/// Insertion-ordered duplicate filter with a hard size bound: oldest ids
+/// are evicted first, so long runs neither grow without bound nor forget
+/// their entire history at once (the old cap-then-clear behaviour readmits
+/// every in-flight duplicate the moment the cap is hit).
+class BoundedIdFilter {
+ public:
+  explicit BoundedIdFilter(std::size_t cap = 4096) : cap_(cap) {}
+
+  /// Inserts `id`; returns true if it was new (i.e. not a duplicate).
+  bool insert(traffic::PacketId id) {
+    if (!set_.insert(id).second) return false;
+    order_.push_back(id);
+    while (order_.size() > cap_) {
+      set_.erase(order_.front());
+      order_.pop_front();
+    }
+    return true;
+  }
+
+  bool contains(traffic::PacketId id) const { return set_.contains(id); }
+  std::size_t size() const { return set_.size(); }
+
+ private:
+  std::size_t cap_;
+  std::set<traffic::PacketId> set_;
+  std::deque<traffic::PacketId> order_;
+};
 
 /// Derived airtimes of the DOMINO slot structure.
 struct DominoTiming {
@@ -101,6 +133,30 @@ class DominoNodeBase : public phy::MediumClient {
 
   topo::NodeId node() const { return radio_.node(); }
 
+  /// Fault injection (nullable). When set, signature bursts may be
+  /// suppressed (forced false negatives / scripted blackouts) or forged
+  /// (false positives); see fault::SignatureFaults.
+  void set_faults(fault::FaultInjector* f) { faults_ = f; }
+
+  /// Local clock rate error. Applied to the slot-lattice extrapolation
+  /// (expected_start and everything built on it) — the only timers where
+  /// ppm-scale error accumulates to observable magnitude.
+  void set_clock_skew_ppm(double ppm) { clock_skew_ppm_ = ppm; }
+
+  // ---- chain-health observability ----------------------------------------
+  /// Trigger bursts this node was forced to miss by fault injection.
+  std::uint64_t forced_trigger_losses() const {
+    return forced_trigger_losses_;
+  }
+  /// Lattice references rejected as earlier-than-anchor (island defence).
+  std::uint64_t anchor_rejections() const { return anchor_rejections_total_; }
+  /// Recovery latency samples: slots elapsed between a (suppressed) trigger
+  /// loss and the next chain activity at this node — the re-convergence
+  /// metric of the resilience study.
+  const std::vector<double>& recovery_latency_slots() const {
+    return recovery_latency_slots_;
+  }
+
  protected:
   /// Called when this node's signature (plus S'/ROP) was detected; `tag` is
   /// the slot the burst closed, `rop` whether an ROP slot follows.
@@ -135,6 +191,15 @@ class DominoNodeBase : public phy::MediumClient {
   std::uint64_t anchor_tag() const { return anchor_tag_; }
   TimeNs expected_start(std::uint64_t tag) const;
 
+  /// Closes a pending trigger-loss episode: records now - loss time in
+  /// slots. Called wherever the chain demonstrably moves again (a detected
+  /// trigger, an executed row, a recovery kick).
+  void note_chain_resume(TimeNs now);
+
+  /// True while this node is powered (AP outage injection). A powered-down
+  /// node neither transmits nor receives; stale timer events must check.
+  bool powered() const { return powered_; }
+
   sim::Simulator& sim_;
   phy::Transceiver radio_;
   DominoTiming timing_;
@@ -142,6 +207,15 @@ class DominoNodeBase : public phy::MediumClient {
   phy::SignatureDetectionModel model_;
   Rng rng_;
   DominoTrace* trace_;
+  fault::FaultInjector* faults_ = nullptr;
+  double clock_skew_ppm_ = 0.0;
+  bool powered_ = true;
+
+  std::uint64_t forced_trigger_losses_ = 0;
+  std::uint64_t anchor_rejections_total_ = 0;
+  std::vector<double> recovery_latency_slots_;
+  bool loss_pending_ = false;
+  TimeNs loss_time_ = 0;
 
  private:
   void evaluate_sig_buffer();
@@ -187,7 +261,14 @@ class DominoApMac final : public DominoNodeBase, public mac::MacEntity {
   }
 
   /// Controller dispatch (already backbone-delayed). Merges by slot index.
+  /// Dropped while the AP is powered down (outage injection).
   void receive_plan(const ApSchedule& plan);
+
+  /// AP outage/restart injection. Powering down cancels every pending
+  /// timer and silences the radio; powering up re-arms the self-start
+  /// machinery from the retained schedule — the AP re-anchors off the
+  /// first trigger it hears, like the paper's bootstrap.
+  void set_powered(bool on);
 
   std::uint64_t ack_timeouts() const { return ack_timeouts_; }
   std::uint64_t self_starts() const { return self_starts_; }
@@ -250,7 +331,13 @@ class DominoApMac final : public DominoNodeBase, public mac::MacEntity {
   traffic::PacketId awaiting_ack_ = 0;
   bool awaiting_ack_valid_ = false;
   topo::NodeId awaiting_peer_ = topo::kNoNode;
+  /// Retry counts by packet id, bounded: ids are monotonic, so when the map
+  /// outgrows the cap the smallest (oldest, long-since-resolved) entries
+  /// are evicted. Unbounded growth showed up on long runs whenever a
+  /// destination left the schedule with a timeout entry still parked here.
   std::map<traffic::PacketId, int> tx_attempts_;
+  static constexpr std::size_t kTxAttemptsCap = 1024;
+  void prune_tx_attempts();
 
   sim::EventHandle self_start_timer_;
 
@@ -264,8 +351,8 @@ class DominoApMac final : public DominoNodeBase, public mac::MacEntity {
   std::vector<PollResponse> poll_responses_;
   bool polling_ = false;
 
-  // Duplicate filter for uplink deliveries.
-  std::map<topo::NodeId, std::set<traffic::PacketId>> seen_;
+  // Per-client duplicate filter for uplink deliveries (bounded, oldest-out).
+  std::map<topo::NodeId, BoundedIdFilter> seen_;
 
   std::uint64_t ack_timeouts_ = 0;
   std::uint64_t self_starts_ = 0;
@@ -315,7 +402,7 @@ class DominoClientMac final : public DominoNodeBase, public mac::MacEntity {
   bool awaiting_ack_valid_ = false;
   std::uint64_t last_tx_tag_ = 0;  // stale-trigger guard
 
-  std::set<traffic::PacketId> seen_;  // downlink duplicate filter
+  BoundedIdFilter seen_;  // downlink duplicate filter (bounded, oldest-out)
 
   std::uint64_t ack_timeouts_ = 0;
 };

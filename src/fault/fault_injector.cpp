@@ -1,0 +1,70 @@
+#include "fault/fault_injector.h"
+
+#include <algorithm>
+
+#include "phy/medium.h"
+#include "sim/simulator.h"
+#include "util/units.h"
+
+namespace dmn::fault {
+
+FaultInjector::FaultInjector(sim::Simulator& sim, std::size_t num_nodes,
+                             const FaultPlan& plan, Rng rng)
+    : sim_(sim), plan_(plan), rng_(std::move(rng)) {
+  // Draw per-node skews up front so lookup order cannot perturb the RNG
+  // stream; all-zero when the knob is off (no draws consumed).
+  skew_ppm_.assign(num_nodes, 0.0);
+  if (plan_.clock.any()) {
+    for (double& s : skew_ppm_) {
+      s = rng_.uniform(-plan_.clock.max_skew_ppm, plan_.clock.max_skew_ppm);
+    }
+  }
+}
+
+wired::DeliveryMod FaultInjector::backbone_delivery() {
+  wired::DeliveryMod mod;
+  const BackboneFaults& bf = plan_.backbone;
+  if (rng_.chance(bf.drop_rate)) {
+    mod.copies = 0;
+    ++counters_.backbone_drops;
+    return mod;
+  }
+  if (rng_.chance(bf.dup_rate)) {
+    mod.copies = 2;
+    ++counters_.backbone_dups;
+  }
+  if (rng_.chance(bf.spike_rate)) {
+    mod.extra_latency = bf.spike_extra;
+    ++counters_.backbone_spikes;
+  }
+  return mod;
+}
+
+void FaultInjector::arm_medium(phy::Medium& medium, TimeNs duration) {
+  const InterferenceFaults& intf = plan_.interference;
+  if (!intf.any() || intf.period <= 0) return;
+  // Random burst phase, then a self-rescheduling on/off chain: one pending
+  // event at a time regardless of run length.
+  const TimeNs phase = static_cast<TimeNs>(
+      rng_.uniform(0.0, static_cast<double>(intf.period)));
+  schedule_burst(medium, phase, duration);
+}
+
+void FaultInjector::schedule_burst(phy::Medium& medium, TimeNs at,
+                                   TimeNs until) {
+  if (at > until) return;
+  const TimeNs on_time = static_cast<TimeNs>(
+      plan_.interference.duty * static_cast<double>(plan_.interference.period));
+  const TimeNs period = plan_.interference.period;
+  const double mw = dbm_to_mw(plan_.interference.power_dbm);
+  sim_.schedule_at(at, [this, &medium, on_time, period, mw, until] {
+    ++counters_.interference_bursts;
+    medium.set_external_interference_mw(mw);
+    sim_.schedule_in(on_time, [this, &medium, period, on_time, until] {
+      medium.set_external_interference_mw(0.0);
+      schedule_burst(medium, sim_.now() - on_time + period, until);
+    });
+  });
+}
+
+}  // namespace dmn::fault

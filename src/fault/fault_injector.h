@@ -1,0 +1,114 @@
+#pragma once
+// Per-experiment fault injector: executes a FaultPlan deterministically.
+//
+// One injector is built per Experiment (only when the plan has any active
+// knob), seeded by a fork of the experiment's root RNG, and handed to the
+// scheme stack through StackContext. It is the single decision point for
+// every impairment, so the counters it keeps are the ground truth of what
+// was actually injected — benches and tests read them back through
+// ExperimentResult.
+//
+// Thread safety: an injector belongs to exactly one Experiment (one
+// Simulator, one thread at a time), like every other per-experiment
+// component. Sweep points never share injectors, which is what keeps
+// 1-thread and N-thread sweep results bit-identical.
+
+#include <cstdint>
+#include <vector>
+
+#include "fault/fault_plan.h"
+#include "util/rng.h"
+#include "util/time.h"
+#include "wired/backbone.h"
+
+namespace dmn::sim {
+class Simulator;
+}
+namespace dmn::phy {
+class Medium;
+}
+
+namespace dmn::fault {
+
+/// Running totals of injected impairments (ground truth for observability).
+struct FaultCounters {
+  std::uint64_t backbone_drops = 0;
+  std::uint64_t backbone_dups = 0;
+  std::uint64_t backbone_spikes = 0;
+  std::uint64_t interference_bursts = 0;
+  std::uint64_t controller_outage_skips = 0;
+  std::uint64_t forced_trigger_losses = 0;
+  std::uint64_t forced_trigger_false_positives = 0;
+};
+
+class FaultInjector {
+ public:
+  /// `num_nodes` sizes the per-node clock-skew table; skews are drawn at
+  /// construction so lookup order cannot affect the RNG stream.
+  FaultInjector(sim::Simulator& sim, std::size_t num_nodes,
+                const FaultPlan& plan, Rng rng);
+
+  const FaultPlan& plan() const { return plan_; }
+
+  /// Schedules the medium-level impairments (interference burst on/off
+  /// chain) for a run of `duration`. Called once by the experiment facade
+  /// before the simulation starts, so every scheme sees identical bursts.
+  void arm_medium(phy::Medium& medium, TimeNs duration);
+
+  // ---- backbone ----------------------------------------------------------
+
+  /// Delivery hook for wired::Backbone::set_fault_hook. Decides drop /
+  /// duplicate / latency spike for one message, consuming injector RNG in
+  /// event order.
+  wired::DeliveryMod backbone_delivery();
+
+  // ---- controller --------------------------------------------------------
+
+  bool controller_down(TimeNs now) const { return plan_.controller.down_at(now); }
+  /// End of the outage covering `now` (call only when controller_down).
+  TimeNs controller_up_at(TimeNs now) const {
+    return plan_.controller.up_at(now);
+  }
+  void note_controller_outage_skip() { ++counters_.controller_outage_skips; }
+
+  // ---- signature detection ----------------------------------------------
+
+  /// True when `node` must miss an entire signature burst ending at `now`:
+  /// scripted blackout, or a Bernoulli forced false negative drawn from the
+  /// *node's* RNG (keeps per-node streams independent). Only bursts
+  /// carrying the node's own trigger are counted as trigger losses by the
+  /// caller via note_trigger_loss().
+  bool suppress_burst(topo::NodeId node, TimeNs now, Rng& node_rng) const {
+    if (plan_.signature.blacked_out(node, now)) return true;
+    return node_rng.chance(plan_.signature.false_negative_rate);
+  }
+  /// True when `node` should act on a start burst that did not carry its
+  /// code (forced correlator false positive).
+  bool forge_trigger(Rng& node_rng) {
+    if (!node_rng.chance(plan_.signature.false_positive_rate)) return false;
+    ++counters_.forced_trigger_false_positives;
+    return true;
+  }
+  void note_trigger_loss() { ++counters_.forced_trigger_losses; }
+
+  // ---- clock skew --------------------------------------------------------
+
+  /// Rate error (ppm) of `node`'s local clock; 0 when the knob is off.
+  double clock_skew_ppm(topo::NodeId node) const {
+    const auto i = static_cast<std::size_t>(node);
+    return i < skew_ppm_.size() ? skew_ppm_[i] : 0.0;
+  }
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  void schedule_burst(phy::Medium& medium, TimeNs at, TimeNs until);
+
+  sim::Simulator& sim_;
+  FaultPlan plan_;
+  Rng rng_;
+  std::vector<double> skew_ppm_;
+  FaultCounters counters_;
+};
+
+}  // namespace dmn::fault

@@ -1,0 +1,160 @@
+#pragma once
+// Declarative fault plan: the scripted impairments an experiment runs under.
+//
+// DOMINO's claim is not steady-state throughput but *re-convergence after
+// perturbation* — a relative schedule survives what breaks strict
+// scheduling (§3.5, Figure 11). The FaultPlan describes the perturbations:
+// backbone message loss/duplication/latency spikes beyond the Gaussian
+// model, controller outages, external interference bursts that raise the
+// noise floor, forced signature false-negatives/-positives, per-node clock
+// skew, and AP power outages. All knobs default to zero/empty; a
+// default-constructed plan is a strict no-op (the experiment does not even
+// instantiate the injector, so results stay byte-identical to a fault-free
+// build).
+//
+// Determinism contract: the plan is pure data. All randomness is drawn from
+// the per-experiment FaultInjector RNG (forked from the experiment root) or
+// the node-local RNGs, in event order — so the same seed plus the same plan
+// yields bit-identical results regardless of sweep thread count.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "topo/node.h"
+#include "util/time.h"
+
+namespace dmn::fault {
+
+/// Half-open absolute simulation-time window [start, start + duration).
+struct TimeWindow {
+  TimeNs start = 0;
+  TimeNs duration = 0;
+
+  bool contains(TimeNs t) const { return t >= start && t < start + duration; }
+  TimeNs end() const { return start + duration; }
+};
+
+/// Wired-backbone impairments layered on top of the Gaussian latency model.
+/// Every controller dispatch, AP report and CENTAUR release runs through
+/// the same delivery hook, so one knob perturbs the whole control plane.
+struct BackboneFaults {
+  /// Probability a message is silently dropped.
+  double drop_rate = 0.0;
+  /// Probability a message is delivered twice (second copy independently
+  /// delayed) — models retransmitting switches / flapping bonding.
+  double dup_rate = 0.0;
+  /// Probability a message takes a latency spike of `spike_extra` on top of
+  /// its sampled Gaussian latency (queueing burst in the wired fabric).
+  double spike_rate = 0.0;
+  TimeNs spike_extra = msec(2);
+
+  bool any() const {
+    return drop_rate > 0.0 || dup_rate > 0.0 || spike_rate > 0.0;
+  }
+};
+
+/// Controller outage windows: while down, the controller neither plans nor
+/// dispatches, and AP reports arriving at it are lost. APs are expected to
+/// keep executing the last received plan (the paper's bootstrap rule in
+/// reverse: the chain outlives its scheduler).
+struct ControllerFaults {
+  std::vector<TimeWindow> outages;
+
+  bool any() const { return !outages.empty(); }
+  bool down_at(TimeNs t) const {
+    for (const TimeWindow& w : outages) {
+      if (w.contains(t)) return true;
+    }
+    return false;
+  }
+  /// End of the outage window covering `t` (call only when down_at(t)).
+  TimeNs up_at(TimeNs t) const {
+    TimeNs up = t;
+    for (const TimeWindow& w : outages) {
+      if (w.contains(t)) up = std::max(up, w.end());
+    }
+    return up;
+  }
+};
+
+/// External interference: a bursty wideband interferer (microwave oven,
+/// neighbouring network) raising the effective noise floor at every node
+/// with duty cycle `duty` over period `period`. Burst phase is randomized
+/// once per experiment from the injector RNG. Affects SINR of in-flight
+/// receptions, carrier sense, signature detection and ROP decoding alike —
+/// for every scheme, which is what makes degradation curves comparable.
+struct InterferenceFaults {
+  double duty = 0.0;  // fraction of each period the interferer is on
+  TimeNs period = msec(5);
+  double power_dbm = -60.0;  // received interferer power at every node
+
+  bool any() const { return duty > 0.0; }
+};
+
+/// Forced signature-detection faults at DOMINO nodes, beyond the fitted
+/// Figure-9 model: `false_negative_rate` makes a node miss a whole
+/// signature burst (no trigger, no re-anchor — the correlator saw noise);
+/// `false_positive_rate` makes a node act on a start burst that did not
+/// carry its code. `blackouts` script per-node total detection loss windows
+/// — the deterministic "suppress exactly this trigger" probe the
+/// chain-break tests use.
+struct SignatureFaults {
+  double false_negative_rate = 0.0;
+  double false_positive_rate = 0.0;
+  struct Blackout {
+    topo::NodeId node = topo::kNoNode;
+    TimeWindow window;
+  };
+  std::vector<Blackout> blackouts;
+
+  bool any() const {
+    return false_negative_rate > 0.0 || false_positive_rate > 0.0 ||
+           !blackouts.empty();
+  }
+  bool blacked_out(topo::NodeId node, TimeNs t) const {
+    for (const Blackout& b : blackouts) {
+      if (b.node == node && b.window.contains(t)) return true;
+    }
+    return false;
+  }
+};
+
+/// Per-node clock skew: each node draws a rate error uniform in
+/// [-max_skew_ppm, +max_skew_ppm] once per experiment. Skew is applied to
+/// the slot-lattice extrapolation (anchor projections and self-start
+/// timers) — the only timers where ppm-scale error accumulates to an
+/// observable magnitude; per-frame intervals (SIFS, airtimes) shift by
+/// ppm x 100 us < 1 ns and are left exact.
+struct ClockFaults {
+  double max_skew_ppm = 0.0;
+
+  bool any() const { return max_skew_ppm > 0.0; }
+};
+
+/// Scripted AP power outages: while down an AP neither transmits, receives,
+/// nor runs timers; controller plans addressed to it are lost. On restart
+/// it re-arms from its retained schedule and re-anchors off the first heard
+/// trigger.
+struct ApOutage {
+  topo::NodeId ap = topo::kNoNode;
+  TimeWindow window;
+};
+
+/// The full fault plan carried by ExperimentConfig. Default-constructed ⇒
+/// no faults, no injector, byte-identical results to the fault-free path.
+struct FaultPlan {
+  BackboneFaults backbone;
+  ControllerFaults controller;
+  InterferenceFaults interference;
+  SignatureFaults signature;
+  ClockFaults clock;
+  std::vector<ApOutage> ap_outages;
+
+  bool any() const {
+    return backbone.any() || controller.any() || interference.any() ||
+           signature.any() || clock.any() || !ap_outages.empty();
+  }
+};
+
+}  // namespace dmn::fault

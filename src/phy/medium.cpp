@@ -56,7 +56,7 @@ bool Medium::rop_orthogonal(const Frame& a, const Frame& b) const {
 }
 
 double Medium::rx_power_sum_mw(topo::NodeId node) const {
-  double acc = 0.0;
+  double acc = external_intf_mw_;
   for (const auto& tx : active_) {
     if (tx->frame.src == node) continue;
     acc += dbm_to_mw(topo_.rss(tx->frame.src, node));
@@ -66,7 +66,7 @@ double Medium::rx_power_sum_mw(topo::NodeId node) const {
 
 double Medium::interference_at(topo::NodeId node,
                                const ActiveTx& victim) const {
-  double acc = 0.0;
+  double acc = external_intf_mw_;
   for (const auto& tx : active_) {
     if (tx.get() == &victim) continue;
     if (tx->frame.src == node) continue;  // own tx handled as half-duplex
@@ -199,6 +199,14 @@ bool Medium::virtual_busy(topo::NodeId node) const {
 std::uint64_t Medium::frames_sent(FrameType t) const {
   const auto it = sent_.find(t);
   return it == sent_.end() ? 0 : it->second;
+}
+
+void Medium::set_external_interference_mw(double mw) {
+  if (mw == external_intf_mw_) return;
+  external_intf_mw_ = mw;
+  // A burst edge mid-frame must count toward every in-flight reception's
+  // worst-case interference and may flip carrier sense.
+  refresh_interference_and_cs();
 }
 
 }  // namespace dmn::phy

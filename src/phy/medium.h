@@ -78,6 +78,13 @@ class Medium {
   /// Cumulative frame counts by type (diagnostics).
   std::uint64_t frames_sent(FrameType t) const;
 
+  /// External interference power (mW) received at every node — a wideband
+  /// interferer outside the system (fault injection). Counts toward carrier
+  /// sense and toward the interference term of every in-flight reception
+  /// from the moment it changes; setting it refreshes all SINR tracking.
+  void set_external_interference_mw(double mw);
+  double external_interference_mw() const { return external_intf_mw_; }
+
  private:
   struct ActiveTx;
   struct RxAttempt {
@@ -108,6 +115,7 @@ class Medium {
   std::vector<bool> cs_busy_;
   std::vector<TimeNs> nav_until_;
   std::map<FrameType, std::uint64_t> sent_;
+  double external_intf_mw_ = 0.0;
 };
 
 }  // namespace dmn::phy

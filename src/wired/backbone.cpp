@@ -11,7 +11,19 @@ TimeNs Backbone::sample_latency() {
 }
 
 void Backbone::send(std::function<void()> fn) {
-  sim_.schedule_in(sample_latency(), std::move(fn));
+  // Single delivery path: the unimpaired case is DeliveryMod{1, 0}, so the
+  // hook-free RNG stream and event order are identical to a build without
+  // fault support at all.
+  const TimeNs latency = sample_latency();
+  DeliveryMod mod;
+  if (fault_hook_) mod = fault_hook_();
+  if (mod.copies == 0) return;  // dropped in the wired fabric
+  sim_.schedule_in(latency + mod.extra_latency, fn);
+  for (unsigned c = 1; c < mod.copies; ++c) {
+    // Duplicates take their own independently-sampled path through the
+    // fabric (a retransmitting switch does not replay the original delay).
+    sim_.schedule_in(sample_latency() + mod.extra_latency, fn);
+  }
 }
 
 }  // namespace dmn::wired

@@ -5,6 +5,12 @@
 // following CENTAUR's measurements, and sweeps sigma 20-80 us for the
 // misalignment study (Figure 11). This jitter is exactly what breaks strict
 // scheduling and what Relative Scheduling tolerates.
+//
+// Every message — controller dispatch, AP report, CENTAUR release — routes
+// through one delivery path: sample the Gaussian latency, ask the optional
+// fault hook for a DeliveryMod (drop / duplicate / latency spike), then
+// schedule the surviving copies. Nothing in the system may assume a
+// backbone message arrives exactly once.
 
 #include <functional>
 
@@ -20,12 +26,26 @@ struct BackboneParams {
   TimeNs min_latency = usec(20);  // physical floor; Normal tail clamp
 };
 
+/// Fault verdict for one message: how many copies to deliver (0 = dropped,
+/// 2 = duplicated) and extra latency added to every copy (a spike). The
+/// default is the unimpaired single on-time delivery.
+struct DeliveryMod {
+  unsigned copies = 1;
+  TimeNs extra_latency = 0;
+};
+
 class Backbone {
  public:
   Backbone(sim::Simulator& sim, const BackboneParams& params, Rng rng)
       : sim_(sim), params_(params), rng_(std::move(rng)) {}
 
-  /// Delivers `fn` after one sampled one-way latency.
+  /// Installs the fault hook consulted once per send(). Null (the default)
+  /// means every message is delivered exactly once.
+  using FaultHook = std::function<DeliveryMod()>;
+  void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
+
+  /// Delivers `fn` after one sampled one-way latency — or, under a fault
+  /// hook, zero/one/two independently-delayed copies.
   void send(std::function<void()> fn);
 
   /// One latency sample (exposed for tests and the Fig-11 study).
@@ -37,6 +57,7 @@ class Backbone {
   sim::Simulator& sim_;
   BackboneParams params_;
   Rng rng_;
+  FaultHook fault_hook_;
 };
 
 }  // namespace dmn::wired
