@@ -29,6 +29,7 @@ double run_setup(const gold::GoldCodeSet& set, const Setup& setup,
   gold::Correlator corr(set);
   int ok = 0;
   int fp = 0;
+  std::vector<gold::DetectionResult> results;
   for (int r = 0; r < runs; ++r) {
     // Choose `combined` distinct target codes.
     std::vector<std::size_t> codes;
@@ -54,13 +55,14 @@ double run_setup(const gold::GoldCodeSet& set, const Setup& setup,
       senders.push_back(std::move(b));
     }
     const auto rx =
-        gold::synthesize_burst(set, senders, /*noise=*/0.05, 16, rng);
-    // Detect the first target code.
-    if (corr.detect(rx, codes[0]).detected) ++ok;
-    // False positive probe: a code guaranteed absent.
-    if (corr.detect(rx, 110 + static_cast<std::size_t>(r % 10)).detected) {
-      ++fp;
-    }
+        gold::synthesize_burst(corr.bank(), senders, /*noise=*/0.05, 16, rng);
+    // One batched pass: the first target code plus a false-positive probe
+    // (a code guaranteed absent) share the burst's SoA conversion and RMS.
+    const std::size_t probes[] = {codes[0],
+                                  110 + static_cast<std::size_t>(r % 10)};
+    corr.detect_many(rx, probes, results);
+    if (results[0].detected) ++ok;
+    if (results[1].detected) ++fp;
   }
   *false_pos += static_cast<double>(fp) / runs;
   return 100.0 * ok / runs;

@@ -1,0 +1,614 @@
+// Kernel microbenchmarks for the three per-slot hot paths, each measured
+// against the pre-optimization reference implementation (copied verbatim
+// from the tree as it was before the fast-path rewrite, trimmed only of
+// trace logging):
+//
+//   medium_churn      TX start/end interference + carrier-sense accounting.
+//                     Reference: O(nodes x active) scratch recompute with a
+//                     pow()-based dBm->mW conversion per term and a
+//                     shared_ptr per transmission. Fast: incremental
+//                     linear-power sums over precomputed audible lists.
+//   correlator_batch  Batched signature detection over a burst. Reference:
+//                     per-call template rebuild + per-lag complex loops.
+//                     Fast: CorrelatorBank::detect_many one-pass kernel.
+//   event_loop        Self-rescheduling event churn. Reference:
+//                     std::function + shared_ptr handle state per event.
+//                     Fast: SBO callable + handle-free post_in.
+//
+// Each kernel first runs both implementations on the identical workload and
+// checks the observable results agree (decoded counts, detection verdicts,
+// event counts); only then is wall-clock measured (best of DMN_BENCH_RUNS).
+// Speedups land in BENCH_kernels.json via DMN_BENCH_JSON.
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <map>
+#include <memory>
+#include <queue>
+#include <span>
+#include <vector>
+
+#include "bench_util.h"
+#include "gold/correlator.h"
+#include "phy/medium.h"
+#include "sim/simulator.h"
+#include "topo/topology.h"
+#include "util/units.h"
+
+namespace {
+
+using dmn::Rng;
+using dmn::TimeNs;
+
+// ---- reference implementations (pre-PR tree) -------------------------------
+
+namespace refk {
+
+/// The event kernel as it was: type-erased std::function storage (heap for
+/// captures beyond ~16 bytes) plus a shared_ptr cancellation state allocated
+/// for every event, pending or not.
+class RefSimulator {
+ public:
+  struct State {
+    bool cancelled = false;
+    bool done = false;
+  };
+
+  TimeNs now() const { return now_; }
+
+  std::shared_ptr<State> schedule_at(TimeNs at, std::function<void()> fn) {
+    auto state = std::make_shared<State>();
+    queue_.push(Entry{at, next_seq_++, std::move(fn), state});
+    return state;
+  }
+  std::shared_ptr<State> schedule_in(TimeNs delay, std::function<void()> fn) {
+    return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  void run() {
+    while (!queue_.empty()) {
+      Entry entry = queue_.top();
+      queue_.pop();
+      if (entry.state->cancelled) continue;
+      now_ = entry.at;
+      entry.state->done = true;
+      ++executed_;
+      entry.fn();
+    }
+  }
+
+  std::uint64_t events_executed() const { return executed_; }
+
+ private:
+  struct Entry {
+    TimeNs at;
+    std::uint64_t seq;
+    std::function<void()> fn;
+    std::shared_ptr<State> state;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+};
+
+/// The medium's interference accounting as it was: every refresh walks all
+/// active transmissions for every node and converts dBm to mW (one pow())
+/// per term; active transmissions live behind shared_ptr.
+class RefMedium {
+ public:
+  RefMedium(dmn::sim::Simulator& sim, const dmn::topo::Topology& topo)
+      : sim_(sim),
+        topo_(topo),
+        clients_(topo.num_nodes(), nullptr),
+        cs_busy_(topo.num_nodes(), false),
+        nav_until_(topo.num_nodes(), 0) {}
+
+  void attach(dmn::topo::NodeId node, dmn::phy::MediumClient* client) {
+    clients_.at(static_cast<std::size_t>(node)) = client;
+  }
+
+  void transmit(const dmn::phy::Frame& frame) {
+    auto tx = std::make_shared<ActiveTx>();
+    tx->frame = frame;
+    tx->start = sim_.now();
+    tx->end = sim_.now() + frame.duration;
+    ++sent_[frame.type];
+
+    for (std::size_t n = 0; n < clients_.size(); ++n) {
+      const auto id = static_cast<dmn::topo::NodeId>(n);
+      if (id == frame.src || clients_[n] == nullptr) continue;
+      const double rss = topo_.rss(frame.src, id);
+      if (rss < topo_.thresholds().min_rss_dbm) continue;
+      RxAttempt rx;
+      rx.node = id;
+      rx.rss_mw = dmn::dbm_to_mw(rss);
+      rx.max_intf_mw = 0.0;
+      rx.half_duplex_loss = transmitting(id);
+      tx->rx.push_back(rx);
+    }
+
+    if (frame.nav > 0) {
+      for (const RxAttempt& rx : tx->rx) {
+        nav_until_[static_cast<std::size_t>(rx.node)] =
+            std::max(nav_until_[static_cast<std::size_t>(rx.node)],
+                     tx->end + frame.nav);
+      }
+    }
+
+    active_.push_back(tx);
+    refresh_interference_and_cs();
+    sim_.schedule_at(tx->end, [this, tx] { on_tx_end(tx); });
+  }
+
+  bool transmitting(dmn::topo::NodeId node) const {
+    for (const auto& tx : active_) {
+      if (tx->frame.src == node) return true;
+    }
+    return false;
+  }
+
+  std::uint64_t frames_sent(dmn::phy::FrameType t) const {
+    const auto it = sent_.find(t);
+    return it == sent_.end() ? 0 : it->second;
+  }
+
+  void set_external_interference_mw(double mw) {
+    if (mw == external_intf_mw_) return;
+    external_intf_mw_ = mw;
+    refresh_interference_and_cs();
+  }
+
+ private:
+  struct RxAttempt {
+    dmn::topo::NodeId node;
+    double rss_mw;
+    double max_intf_mw;
+    bool half_duplex_loss;
+  };
+  struct ActiveTx {
+    dmn::phy::Frame frame;
+    TimeNs start;
+    TimeNs end;
+    std::vector<RxAttempt> rx;
+  };
+
+  double decode_threshold_db(dmn::phy::FrameType t) const {
+    using dmn::phy::FrameType;
+    switch (t) {
+      case FrameType::kData:
+        return topo_.thresholds().sinr_data_db;
+      case FrameType::kAck:
+      case FrameType::kFakeHeader:
+      case FrameType::kPoll:
+      case FrameType::kRopResponse:
+        return topo_.thresholds().sinr_control_db;
+      case FrameType::kSignature:
+        return -21.0;
+    }
+    return topo_.thresholds().sinr_data_db;
+  }
+
+  static bool rop_orthogonal(const dmn::phy::Frame& a,
+                             const dmn::phy::Frame& b) {
+    return a.type == dmn::phy::FrameType::kRopResponse &&
+           b.type == dmn::phy::FrameType::kRopResponse;
+  }
+
+  double rx_power_sum_mw(dmn::topo::NodeId node) const {
+    double acc = external_intf_mw_;
+    for (const auto& tx : active_) {
+      if (tx->frame.src == node) continue;
+      acc += dmn::dbm_to_mw(topo_.rss(tx->frame.src, node));
+    }
+    return acc;
+  }
+
+  double interference_at(dmn::topo::NodeId node, const ActiveTx& victim) const {
+    double acc = external_intf_mw_;
+    for (const auto& tx : active_) {
+      if (tx.get() == &victim) continue;
+      if (tx->frame.src == node) continue;
+      if (rop_orthogonal(tx->frame, victim.frame)) continue;
+      acc += dmn::dbm_to_mw(topo_.rss(tx->frame.src, node));
+    }
+    return acc;
+  }
+
+  void refresh_interference_and_cs() {
+    for (const auto& tx : active_) {
+      for (RxAttempt& rx : tx->rx) {
+        const double intf = interference_at(rx.node, *tx);
+        rx.max_intf_mw = std::max(rx.max_intf_mw, intf);
+        if (transmitting(rx.node)) rx.half_duplex_loss = true;
+      }
+    }
+    for (std::size_t n = 0; n < clients_.size(); ++n) {
+      const auto id = static_cast<dmn::topo::NodeId>(n);
+      const bool busy = transmitting(id) ||
+                        dmn::mw_to_dbm(rx_power_sum_mw(id)) >=
+                            topo_.thresholds().cs_threshold_dbm;
+      if (busy != cs_busy_[n]) {
+        cs_busy_[n] = busy;
+        if (clients_[n] != nullptr) clients_[n]->on_cs_change(busy);
+      }
+    }
+  }
+
+  void on_tx_end(std::shared_ptr<ActiveTx> tx) {
+    for (RxAttempt& rx : tx->rx) {
+      rx.max_intf_mw = std::max(rx.max_intf_mw, interference_at(rx.node, *tx));
+      if (transmitting(rx.node)) rx.half_duplex_loss = true;
+    }
+    active_.erase(std::remove(active_.begin(), active_.end(), tx),
+                  active_.end());
+    refresh_interference_and_cs();
+
+    const double noise_mw = dmn::dbm_to_mw(topo_.thresholds().noise_floor_dbm);
+    const double th = decode_threshold_db(tx->frame.type);
+    for (const RxAttempt& rx : tx->rx) {
+      dmn::phy::MediumClient* client =
+          clients_.at(static_cast<std::size_t>(rx.node));
+      if (client == nullptr) continue;
+      dmn::phy::RxInfo info;
+      info.rss_dbm = dmn::mw_to_dbm(rx.rss_mw);
+      info.min_sinr_db =
+          dmn::ratio_to_db(rx.rss_mw / (noise_mw + rx.max_intf_mw));
+      info.half_duplex_loss = rx.half_duplex_loss;
+      info.decoded = !rx.half_duplex_loss && info.min_sinr_db >= th;
+      client->on_frame_rx(tx->frame, info);
+    }
+  }
+
+  dmn::sim::Simulator& sim_;
+  const dmn::topo::Topology& topo_;
+  std::vector<dmn::phy::MediumClient*> clients_;
+  std::vector<std::shared_ptr<ActiveTx>> active_;
+  std::vector<bool> cs_busy_;
+  std::vector<TimeNs> nav_until_;
+  std::map<dmn::phy::FrameType, std::uint64_t> sent_;
+  double external_intf_mw_ = 0.0;
+};
+
+/// The sliding correlator as it was: chip template rebuilt from the code
+/// set on every call, per-lag complex accumulation, fresh mags/rest vectors
+/// per detection, RMS recomputed per code.
+dmn::gold::DetectionResult ref_detect(const dmn::gold::GoldCodeSet& set,
+                                      std::span<const dmn::dsp::Cplx> rx,
+                                      std::size_t code_index,
+                                      double cfar_factor,
+                                      std::size_t max_lag) {
+  const auto chips = set.code(code_index);
+  const std::size_t len = chips.size();
+  dmn::gold::DetectionResult result;
+  if (rx.size() < len) return result;
+
+  const std::size_t lags = std::min(max_lag + 1, rx.size() - len + 1);
+  std::vector<double> mags(lags);
+  for (std::size_t lag = 0; lag < lags; ++lag) {
+    dmn::dsp::Cplx acc(0.0, 0.0);
+    for (std::size_t n = 0; n < len; ++n) {
+      acc += rx[lag + n] * static_cast<double>(chips[n]);
+    }
+    mags[lag] = std::abs(acc) / static_cast<double>(len);
+  }
+
+  const auto peak_it = std::max_element(mags.begin(), mags.end());
+  result.peak_metric = *peak_it;
+  result.lag = static_cast<std::size_t>(peak_it - mags.begin());
+
+  std::vector<double> rest;
+  rest.reserve(mags.size());
+  for (std::size_t i = 0; i < mags.size(); ++i) {
+    if (i != result.lag) rest.push_back(mags[i]);
+  }
+  if (rest.empty()) {
+    double rms = std::sqrt(dmn::dsp::mean_power(rx.subspan(0, len)));
+    result.floor_metric = rms / std::sqrt(static_cast<double>(len));
+  } else {
+    std::nth_element(rest.begin(), rest.begin() + rest.size() / 2, rest.end());
+    result.floor_metric = rest[rest.size() / 2];
+  }
+
+  const double rms = std::sqrt(dmn::dsp::mean_power(rx.subspan(0, len)));
+  result.detected = result.peak_metric >
+                        cfar_factor * std::max(result.floor_metric, 1e-12) &&
+                    result.peak_metric > 0.25 * rms;
+  return result;
+}
+
+}  // namespace refk
+
+// ---- harness ---------------------------------------------------------------
+
+template <class F>
+double time_best_ms(int reps, F&& f) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    f();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(
+        best, std::chrono::duration<double, std::milli>(t1 - t0).count());
+  }
+  return best;
+}
+
+[[noreturn]] void die(const char* kernel, const char* what) {
+  std::fprintf(stderr, "FAIL %s: reference/fast mismatch (%s)\n", kernel,
+               what);
+  std::exit(1);
+}
+
+// ---- kernel 1: medium TX churn ---------------------------------------------
+
+struct MediumStats {
+  std::uint64_t rx = 0;
+  std::uint64_t decoded = 0;
+  std::uint64_t cs_flips = 0;
+  std::uint64_t data_sent = 0;
+  double sinr_sum = 0.0;
+
+  bool agrees_with(const MediumStats& o) const {
+    return rx == o.rx && decoded == o.decoded && cs_flips == o.cs_flips &&
+           data_sent == o.data_sent &&
+           std::abs(sinr_sum - o.sinr_sum) <=
+               1e-6 * std::max(1.0, std::abs(sinr_sum));
+  }
+};
+
+class CountingClient : public dmn::phy::MediumClient {
+ public:
+  void on_frame_rx(const dmn::phy::Frame&,
+                   const dmn::phy::RxInfo& info) override {
+    ++rx_;
+    if (info.decoded) ++decoded_;
+    sinr_sum_ += info.min_sinr_db;
+  }
+  void on_cs_change(bool) override { ++cs_flips_; }
+
+  std::uint64_t rx_ = 0, decoded_ = 0, cs_flips_ = 0;
+  double sinr_sum_ = 0.0;
+};
+
+/// Drives `frames` overlapping transmissions (mixed data/ACK/ROP, some with
+/// NAV, a few external-interference edges) through a Medium implementation
+/// and collects the observable outcomes.
+template <class M>
+MediumStats run_medium_workload(const dmn::topo::Topology& topo, int frames) {
+  dmn::sim::Simulator sim;
+  M medium(sim, topo);
+  const int n = static_cast<int>(topo.num_nodes());
+  std::vector<CountingClient> clients(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    medium.attach(static_cast<dmn::topo::NodeId>(i), &clients[i]);
+  }
+
+  using dmn::phy::FrameType;
+  int prev_src = 0;
+  for (int k = 0; k < frames; ++k) {
+    dmn::phy::Frame f;
+    // Wandering source, with every 13th frame re-using the previous source
+    // while its frame is still in flight (exercises half-duplex loss).
+    f.src = (k % 13 == 0 && k > 0) ? prev_src : (k * 7 + k / 64) % n;
+    prev_src = f.src;
+    f.dst = (f.src + 1) % n;
+    f.type = (k % 11 == 0) ? FrameType::kRopResponse
+             : (k % 7 == 0) ? FrameType::kAck
+                            : FrameType::kData;
+    f.duration = 8000 + (k % 5) * 1700;  // 8.0 .. 14.8 us, ~6-7 concurrent
+    if (k % 5 == 0) f.nav = 4000;
+    sim.post_at(static_cast<TimeNs>(k) * 1500,
+                [&medium, f] { medium.transmit(f); });
+  }
+  // External interference edges: each one refreshes every in-flight rx.
+  for (int p = 0; p < 8; ++p) {
+    const TimeNs at = static_cast<TimeNs>(p) * frames * 1500 / 8 + 777;
+    const double mw = (p % 2 == 0) ? 4e-9 : 0.0;
+    sim.post_at(at, [&medium, mw] { medium.set_external_interference_mw(mw); });
+  }
+  sim.run();
+
+  MediumStats s;
+  for (const CountingClient& c : clients) {
+    s.rx += c.rx_;
+    s.decoded += c.decoded_;
+    s.cs_flips += c.cs_flips_;
+    s.sinr_sum += c.sinr_sum_;
+  }
+  s.data_sent = medium.frames_sent(FrameType::kData);
+  return s;
+}
+
+// ---- kernel 2: batched correlator detection --------------------------------
+
+struct CorrWorkload {
+  dmn::gold::GoldCodeSet set{7};
+  std::vector<std::vector<dmn::dsp::Cplx>> bursts;
+  std::vector<std::vector<std::size_t>> candidates;
+};
+
+CorrWorkload make_corr_workload(int bursts) {
+  CorrWorkload w;
+  Rng rng(20260807);
+  for (int b = 0; b < bursts; ++b) {
+    std::vector<dmn::gold::BurstSender> senders;
+    const int nsenders = 1 + b % 3;
+    std::vector<std::size_t> cand;
+    for (int s = 0; s < nsenders; ++s) {
+      dmn::gold::BurstSender sender;
+      const int ncodes = 1 + (b + s) % 4;
+      for (int c = 0; c < ncodes; ++c) {
+        sender.codes.push_back((b * 17 + s * 31 + c * 7) % 100);
+      }
+      sender.amplitude = 0.8 + 0.2 * rng.uniform();
+      sender.chip_offset = static_cast<std::size_t>(b + s) % 5;
+      sender.phase_rad = rng.uniform(0.0, 6.28318);
+      cand.insert(cand.end(), sender.codes.begin(), sender.codes.end());
+      senders.push_back(std::move(sender));
+    }
+    // Pad the candidate list to 16 codes: a receiver probes for its own
+    // signature among absent ones.
+    while (cand.size() < 16) {
+      cand.push_back((b * 3 + cand.size() * 5) % 100 + 1);
+    }
+    cand.resize(16);
+    w.bursts.push_back(
+        dmn::gold::synthesize_burst(w.set, senders, 0.05, 16, rng));
+    w.candidates.push_back(std::move(cand));
+  }
+  return w;
+}
+
+// ---- kernel 3: event-loop churn --------------------------------------------
+
+struct EventPayload {
+  std::uint64_t a, b, c;
+};
+
+template <class Sim>
+struct ChainRunner {
+  Sim& sim;
+  std::uint64_t& acc;
+  TimeNs step;
+  TimeNs horizon;
+
+  void tick(EventPayload p) {
+    acc += p.a ^ (p.b << 1) ^ (p.c << 2);
+    if (sim.now() + step <= horizon) {
+      // ~40-byte capture: fits the fast path's inline storage, forces a
+      // heap allocation in std::function.
+      sim.schedule_in(step, [this, p] {
+        tick(EventPayload{p.a + 1, p.b + 3, p.c + 5});
+      });
+    }
+  }
+};
+
+template <class Sim>
+std::pair<std::uint64_t, std::uint64_t> run_event_workload(int chains,
+                                                           TimeNs horizon) {
+  Sim sim;
+  std::uint64_t acc = 0;
+  std::vector<std::unique_ptr<ChainRunner<Sim>>> runners;
+  for (int c = 0; c < chains; ++c) {
+    auto r = std::make_unique<ChainRunner<Sim>>(
+        ChainRunner<Sim>{sim, acc, 997 + (c % 7) * 101, horizon});
+    runners.push_back(std::move(r));
+    EventPayload p{static_cast<std::uint64_t>(c), 2, 3};
+    ChainRunner<Sim>* rp = runners.back().get();
+    sim.schedule_at(static_cast<TimeNs>(c) % 13, [rp, p] { rp->tick(p); });
+  }
+  sim.run();
+  return {sim.events_executed(), acc};
+}
+
+/// Adapter so the fast variant exercises the handle-free path the MACs use
+/// for fire-and-forget events.
+struct FastSim : dmn::sim::Simulator {
+  void schedule_in(TimeNs delay, dmn::sim::EventFn fn) {
+    post_in(delay, std::move(fn));
+  }
+  void schedule_at(TimeNs at, dmn::sim::EventFn fn) {
+    post_at(at, std::move(fn));
+  }
+};
+
+}  // namespace
+
+int main() {
+  const int reps = dmn::bench::bench_runs(5);
+  dmn::bench::print_header("kernel microbenchmarks (ref = pre-PR hot paths)");
+  dmn::bench::BenchJson json("kernels");
+  std::printf("%-18s %10s %10s %9s\n", "kernel", "ref_ms", "fast_ms",
+              "speedup");
+
+  const auto report = [&](const char* kernel, double ref_ms, double fast_ms) {
+    std::printf("%-18s %10.3f %10.3f %8.2fx\n", kernel, ref_ms, fast_ms,
+                ref_ms / fast_ms);
+    json.add_row()
+        .str("kernel", kernel)
+        .num("ref_ms", ref_ms)
+        .num("fast_ms", fast_ms)
+        .num("speedup", ref_ms / fast_ms);
+  };
+
+  {  // medium_churn
+    const auto topo = dmn::bench::trace_tmn(8, 3, 42);
+    const int frames = 4000;
+    const MediumStats ref = run_medium_workload<refk::RefMedium>(topo, frames);
+    const MediumStats fast =
+        run_medium_workload<dmn::phy::Medium>(topo, frames);
+    if (!ref.agrees_with(fast)) die("medium_churn", "rx/decoded/cs counters");
+    const double ref_ms = time_best_ms(reps, [&] {
+      run_medium_workload<refk::RefMedium>(topo, frames);
+    });
+    const double fast_ms = time_best_ms(reps, [&] {
+      run_medium_workload<dmn::phy::Medium>(topo, frames);
+    });
+    report("medium_churn", ref_ms, fast_ms);
+  }
+
+  {  // correlator_batch
+    const CorrWorkload w = make_corr_workload(64);
+    const dmn::gold::CorrelatorBank bank(w.set);
+    std::vector<dmn::gold::DetectionResult> out;
+    for (std::size_t b = 0; b < w.bursts.size(); ++b) {
+      bank.detect_many(w.bursts[b], w.candidates[b], out);
+      for (std::size_t i = 0; i < out.size(); ++i) {
+        const auto r = refk::ref_detect(w.set, w.bursts[b], w.candidates[b][i],
+                                        4.0, 16);
+        if (r.detected != out[i].detected || r.lag != out[i].lag ||
+            std::abs(r.peak_metric - out[i].peak_metric) > 1e-12 ||
+            std::abs(r.floor_metric - out[i].floor_metric) > 1e-12) {
+          die("correlator_batch", "detection results");
+        }
+      }
+    }
+    double sink = 0.0;
+    const double ref_ms = time_best_ms(reps, [&] {
+      for (std::size_t b = 0; b < w.bursts.size(); ++b) {
+        for (const std::size_t code : w.candidates[b]) {
+          sink += refk::ref_detect(w.set, w.bursts[b], code, 4.0, 16)
+                      .peak_metric;
+        }
+      }
+    });
+    const double fast_ms = time_best_ms(reps, [&] {
+      for (std::size_t b = 0; b < w.bursts.size(); ++b) {
+        bank.detect_many(w.bursts[b], w.candidates[b], out);
+        for (const auto& r : out) sink += r.peak_metric;
+      }
+    });
+    if (sink < 0.0) std::printf("%f\n", sink);  // keep `sink` live
+    report("correlator_batch", ref_ms, fast_ms);
+  }
+
+  {  // event_loop
+    const int chains = 64;
+    const TimeNs horizon = 5'000'000;  // ~320k events
+    const auto ref = run_event_workload<refk::RefSimulator>(chains, horizon);
+    const auto fast = run_event_workload<FastSim>(chains, horizon);
+    if (ref != fast) die("event_loop", "executed count / checksum");
+    const double ref_ms = time_best_ms(reps, [&] {
+      run_event_workload<refk::RefSimulator>(chains, horizon);
+    });
+    const double fast_ms = time_best_ms(reps, [&] {
+      run_event_workload<FastSim>(chains, horizon);
+    });
+    report("event_loop", ref_ms, fast_ms);
+  }
+
+  return 0;
+}

@@ -50,6 +50,36 @@ static void BM_SignatureDetect(benchmark::State& state) {
 }
 BENCHMARK(BM_SignatureDetect);
 
+static void BM_SignatureDetectMany8(benchmark::State& state) {
+  gold::GoldCodeSet set(7);
+  gold::Correlator corr(set);
+  Rng rng(2);
+  std::vector<gold::BurstSender> senders = {
+      gold::BurstSender{{1, 2, 3, 4}, 1.0, 2, 0.7}};
+  const auto rx = gold::synthesize_burst(corr.bank(), senders, 0.05, 16, rng);
+  const std::vector<std::size_t> candidates = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<gold::DetectionResult> results;
+  for (auto _ : state) {
+    corr.detect_many(rx, candidates, results);
+    benchmark::DoNotOptimize(results);
+  }
+}
+BENCHMARK(BM_SignatureDetectMany8);
+
+static void BM_SynthesizeBurstBank(benchmark::State& state) {
+  gold::GoldCodeSet set(7);
+  gold::CorrelatorBank bank(set);
+  Rng rng(6);
+  std::vector<gold::BurstSender> senders = {
+      gold::BurstSender{{1, 2, 3, 4}, 1.0, 2, 0.7},
+      gold::BurstSender{{5, 6}, 0.8, 1, 1.9}};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        gold::synthesize_burst(bank, senders, 0.05, 16, rng));
+  }
+}
+BENCHMARK(BM_SynthesizeBurstBank);
+
 static void BM_TraceSynthesis(benchmark::State& state) {
   for (auto _ : state) {
     Rng rng(3);

@@ -38,7 +38,7 @@ int main() {
                             1.0,
                             static_cast<std::size_t>(rng.uniform_int(0, 3)),
                             rng.uniform(0.0, 6.28)}};
-      const auto rx = gold::synthesize_burst(set, senders, 0.1, 16, rng);
+      const auto rx = gold::synthesize_burst(corr.bank(), senders, 0.1, 16, rng);
       if (corr.detect(rx, 1).detected) ++ok;
     }
     std::printf("   detect@4: %5.1f%%\n", 100.0 * ok / trials);

@@ -67,9 +67,9 @@ void DominoStack::build(StackContext& ctx,
       for (const fault::ApOutage& o : ctx.faults->plan().ap_outages) {
         if (o.ap != ap || o.window.duration <= 0) continue;
         domino::DominoApMac* raw = node.get();
-        ctx.sim.schedule_at(o.window.start,
+        ctx.sim.post_at(o.window.start,
                             [raw] { raw->set_powered(false); });
-        ctx.sim.schedule_at(o.window.end(),
+        ctx.sim.post_at(o.window.end(),
                             [raw] { raw->set_powered(true); });
       }
     }

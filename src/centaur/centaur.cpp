@@ -23,7 +23,7 @@ CentaurController::CentaurController(
 }
 
 void CentaurController::start(TimeNs at) {
-  sim_.schedule_at(at, [this] { plan_batch(); });
+  sim_.post_at(at, [this] { plan_batch(); });
 }
 
 void CentaurController::plan_batch() {
@@ -37,7 +37,7 @@ void CentaurController::plan_batch() {
   }
   const std::vector<topo::LinkId> chosen = rand_.schedule_slot(demand);
   if (chosen.empty()) {
-    sim_.schedule_in(params_.idle_recheck, [this] { plan_batch(); });
+    sim_.post_in(params_.idle_recheck, [this] { plan_batch(); });
     return;
   }
 

@@ -25,7 +25,7 @@ DominoController::DominoController(sim::Simulator& sim,
       rop_duration_(rop_duration) {}
 
 void DominoController::start(TimeNs at) {
-  sim_.schedule_at(at, [this] { plan_batch(); });
+  sim_.post_at(at, [this] { plan_batch(); });
 }
 
 std::vector<std::size_t> DominoController::demand_vector() const {

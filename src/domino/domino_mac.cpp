@@ -111,7 +111,7 @@ void DominoNodeBase::on_frame_rx(const phy::Frame& frame,
                                         frame.slot_tag, sim_.now()});
     if (!eval_scheduled_) {
       eval_scheduled_ = true;
-      sim_.schedule_in(kSigEvalSettle, [this] { evaluate_sig_buffer(); });
+      sim_.post_in(kSigEvalSettle, [this] { evaluate_sig_buffer(); });
     }
     return;
   }
@@ -545,12 +545,12 @@ void DominoApMac::after_data_phase(const Row& row, TimeNs slot_t0,
   const std::vector<std::size_t> codes = row.plan.my_codes;
   const std::uint64_t g = row.plan.global_index;
   const bool rop = row.plan.rop_after;
-  sim_.schedule_at(
+  sim_.post_at(
       std::max(slot_t0 + timing_.sig_phase_offset(), sim_.now()),
       [this, codes, g, rop] { send_burst(codes, g, rop); });
   const TimeNs burst_end =
       slot_t0 + timing_.sig_phase_offset() + timing_.burst_air();
-  sim_.schedule_at(std::max(burst_end, sim_.now()),
+  sim_.post_at(std::max(burst_end, sim_.now()),
                    [this, g] { finish_slot(g); });
 }
 
@@ -623,7 +623,7 @@ void DominoApMac::execute_poll(std::uint64_t g, TimeNs at) {
                  to_usec(sim_.now()), node(),
                  static_cast<unsigned long long>(g), to_usec(at));
   }
-  sim_.schedule_at(std::max(at, sim_.now()), [this, g] {
+  sim_.post_at(std::max(at, sim_.now()), [this, g] {
     if (!powered_) return;
     if (radio_.transmitting()) {
       execute_poll(g, sim_.now() + kTxBusyRetry);
@@ -641,7 +641,7 @@ void DominoApMac::execute_poll(std::uint64_t g, TimeNs at) {
     poll.duration = timing_.poll_air();
     poll.slot_tag = g;
     radio_.send(poll);
-    sim_.schedule_in(poll.duration + timing_.wifi.slot_time +
+    sim_.post_in(poll.duration + timing_.wifi.slot_time +
                          timing_.rop_symbol + usec(2),
                      [this, g] { evaluate_poll(g); });
   });
@@ -731,7 +731,7 @@ void DominoApMac::handle_frame(const phy::Frame& frame,
           is_data ? timing_.wifi.sifs
                   : timing_.data_air() - timing_.fake_air() +
                         timing_.wifi.sifs;
-      sim_.schedule_in(ack_at, [this, ack_for, back_to, instr, tag] {
+      sim_.post_in(ack_at, [this, ack_for, back_to, instr, tag] {
         phy::Frame ack;
         ack.type = phy::FrameType::kAck;
         ack.dst = back_to;
@@ -912,7 +912,7 @@ void DominoClientMac::schedule_instructed_burst(
   if (instr.codes.empty()) return;
   const std::vector<std::size_t> codes = instr.codes;
   const bool rop = instr.rop_signature;
-  sim_.schedule_at(std::max(at, sim_.now()), [this, codes, tag, rop] {
+  sim_.post_at(std::max(at, sim_.now()), [this, codes, tag, rop] {
     send_burst(codes, tag, rop);
   });
 }
@@ -929,7 +929,7 @@ void DominoClientMac::handle_frame(const phy::Frame& frame,
       // ACK after SIFS.
       const auto ack_for = frame.packet_id;
       const auto tag = frame.slot_tag;
-      sim_.schedule_in(timing_.wifi.sifs, [this, ack_for, tag] {
+      sim_.post_in(timing_.wifi.sifs, [this, ack_for, tag] {
         phy::Frame ack;
         ack.type = phy::FrameType::kAck;
         ack.dst = ap_;
@@ -989,7 +989,7 @@ void DominoClientMac::handle_frame(const phy::Frame& frame,
     case phy::FrameType::kPoll: {
       if (frame.src != ap_) break;
       const auto tag = frame.slot_tag;
-      sim_.schedule_in(timing_.wifi.slot_time, [this, tag] {
+      sim_.post_in(timing_.wifi.slot_time, [this, tag] {
         phy::Frame resp;
         resp.type = phy::FrameType::kRopResponse;
         resp.dst = ap_;

@@ -57,10 +57,10 @@ void FaultInjector::schedule_burst(phy::Medium& medium, TimeNs at,
       plan_.interference.duty * static_cast<double>(plan_.interference.period));
   const TimeNs period = plan_.interference.period;
   const double mw = dbm_to_mw(plan_.interference.power_dbm);
-  sim_.schedule_at(at, [this, &medium, on_time, period, mw, until] {
+  sim_.post_at(at, [this, &medium, on_time, period, mw, until] {
     ++counters_.interference_bursts;
     medium.set_external_interference_mw(mw);
-    sim_.schedule_in(on_time, [this, &medium, period, on_time, until] {
+    sim_.post_in(on_time, [this, &medium, period, on_time, until] {
       medium.set_external_interference_mw(0.0);
       schedule_burst(medium, sim_.now() - on_time + period, until);
     });

@@ -1,6 +1,5 @@
 #include "gold/correlator.h"
 
-#include <algorithm>
 #include <cmath>
 
 #include "dsp/channel.h"
@@ -19,75 +18,56 @@ std::vector<dsp::Cplx> combine_signatures(
   return out;
 }
 
-DetectionResult Correlator::detect(std::span<const dsp::Cplx> rx,
-                                   std::size_t code_index) const {
-  const auto chips = set_.code(code_index);
-  const std::size_t len = chips.size();
-  DetectionResult result;
-  if (rx.size() < len) return result;
+namespace {
 
-  const std::size_t lags = std::min(max_lag_ + 1, rx.size() - len + 1);
-  std::vector<double> mags(lags);
-  for (std::size_t lag = 0; lag < lags; ++lag) {
-    dsp::Cplx acc(0.0, 0.0);
-    for (std::size_t n = 0; n < len; ++n) {
-      acc += rx[lag + n] * static_cast<double>(chips[n]);
-    }
-    mags[lag] = std::abs(acc) / static_cast<double>(len);
-  }
-
-  const auto peak_it = std::max_element(mags.begin(), mags.end());
-  result.peak_metric = *peak_it;
-  result.lag = static_cast<std::size_t>(peak_it - mags.begin());
-
-  // CFAR floor: median of off-peak magnitudes. With few lags available we
-  // fall back to the mean of the non-peak values.
-  std::vector<double> rest;
-  rest.reserve(mags.size());
-  for (std::size_t i = 0; i < mags.size(); ++i) {
-    if (i != result.lag) rest.push_back(mags[i]);
-  }
-  if (rest.empty()) {
-    // Degenerate single-lag case: compare against the per-chip RMS of rx,
-    // which is what a hardware energy estimator would report.
-    double rms = std::sqrt(dsp::mean_power(rx.subspan(0, len)));
-    result.floor_metric = rms / std::sqrt(static_cast<double>(len));
-  } else {
-    std::nth_element(rest.begin(), rest.begin() + rest.size() / 2, rest.end());
-    result.floor_metric = rest[rest.size() / 2];
-  }
-
-  // Two-part decision, mirroring a hardware correlator front-end:
-  //  * CFAR: the peak must stand clear of the off-peak correlation floor;
-  //  * energy reference: a genuine signature contributes ~unit correlation
-  //    per transmitted code, while Gold cross-correlation peaks stay below
-  //    t(m)/N ~ 0.13 of an amplitude unit. Referencing the threshold to the
-  //    received RMS rejects those — and makes detection degrade gracefully
-  //    as more signatures share the burst (the Figure 9 rolloff).
-  const double rms = std::sqrt(dsp::mean_power(rx.subspan(0, len)));
-  result.detected =
-      result.peak_metric >
-          cfar_factor_ * std::max(result.floor_metric, 1e-12) &&
-      result.peak_metric > 0.25 * rms;
-  return result;
-}
-
-std::vector<dsp::Cplx> synthesize_burst(const GoldCodeSet& set,
-                                        std::span<const BurstSender> senders,
-                                        double noise_power, std::size_t pad,
-                                        Rng& rng) {
-  std::vector<dsp::Cplx> rx(set.length() + pad, dsp::Cplx(0.0, 0.0));
-  for (const BurstSender& s : senders) {
-    const auto burst = combine_signatures(set, s.codes);
-    const dsp::Cplx rot =
-        s.amplitude * dsp::Cplx(std::cos(s.phase_rad), std::sin(s.phase_rad));
+std::vector<dsp::Cplx> synthesize_burst_impl(
+    std::size_t code_length, std::span<const BurstSender> senders,
+    std::span<const dsp::Cplx>* combined,  // one per sender
+    double noise_power, std::size_t pad, Rng& rng) {
+  std::vector<dsp::Cplx> rx(code_length + pad, dsp::Cplx(0.0, 0.0));
+  for (std::size_t s = 0; s < senders.size(); ++s) {
+    const BurstSender& snd = senders[s];
+    const auto burst = combined[s];
+    const dsp::Cplx rot = snd.amplitude * dsp::Cplx(std::cos(snd.phase_rad),
+                                                    std::sin(snd.phase_rad));
     for (std::size_t n = 0; n < burst.size(); ++n) {
-      const std::size_t at = n + s.chip_offset;
+      const std::size_t at = n + snd.chip_offset;
       if (at < rx.size()) rx[at] += burst[n] * rot;
     }
   }
   dsp::add_awgn(rx, noise_power, rng);
   return rx;
+}
+
+}  // namespace
+
+std::vector<dsp::Cplx> synthesize_burst(const GoldCodeSet& set,
+                                        std::span<const BurstSender> senders,
+                                        double noise_power, std::size_t pad,
+                                        Rng& rng) {
+  std::vector<std::vector<dsp::Cplx>> own;
+  std::vector<std::span<const dsp::Cplx>> combined;
+  own.reserve(senders.size());
+  combined.reserve(senders.size());
+  for (const BurstSender& s : senders) {
+    own.push_back(combine_signatures(set, s.codes));
+    combined.emplace_back(own.back());
+  }
+  return synthesize_burst_impl(set.length(), senders, combined.data(),
+                               noise_power, pad, rng);
+}
+
+std::vector<dsp::Cplx> synthesize_burst(const CorrelatorBank& bank,
+                                        std::span<const BurstSender> senders,
+                                        double noise_power, std::size_t pad,
+                                        Rng& rng) {
+  std::vector<std::span<const dsp::Cplx>> combined;
+  combined.reserve(senders.size());
+  for (const BurstSender& s : senders) {
+    combined.push_back(bank.combined_template(s.codes));
+  }
+  return synthesize_burst_impl(bank.set().length(), senders, combined.data(),
+                               noise_power, pad, rng);
 }
 
 }  // namespace dmn::gold

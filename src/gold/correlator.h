@@ -7,6 +7,11 @@
 // signature and fires when it detects it. Detection must survive other
 // triggering nodes transmitting concurrently with unknown phase and a few
 // chips of timing skew.
+//
+// The heavy lifting lives in CorrelatorBank (correlator_bank.h), which
+// pre-bakes chip templates once per GoldCodeSet; Correlator is the
+// single-code convenience facade, and synthesize_burst has a bank-backed
+// overload that reuses cached combined-signature templates.
 
 #include <complex>
 #include <cstddef>
@@ -14,6 +19,7 @@
 #include <vector>
 
 #include "dsp/fft.h"
+#include "gold/correlator_bank.h"
 #include "gold/gold_code.h"
 #include "util/rng.h"
 
@@ -25,13 +31,6 @@ namespace dmn::gold {
 std::vector<dsp::Cplx> combine_signatures(
     const GoldCodeSet& set, std::span<const std::size_t> code_indices);
 
-struct DetectionResult {
-  bool detected = false;
-  double peak_metric = 0.0;   // peak |correlation| normalized by code length
-  double floor_metric = 0.0;  // CFAR noise-floor estimate
-  std::size_t lag = 0;        // lag of the peak
-};
-
 /// Sliding correlator with a CFAR (constant false-alarm rate) threshold:
 /// the peak must exceed `cfar_factor` times the median off-peak correlation
 /// magnitude. This is self-calibrating — the receiver needs no knowledge of
@@ -40,15 +39,27 @@ class Correlator {
  public:
   explicit Correlator(const GoldCodeSet& set, double cfar_factor = 4.0,
                       std::size_t max_lag = 16)
-      : set_(set), cfar_factor_(cfar_factor), max_lag_(max_lag) {}
+      : bank_(set), cfar_factor_(cfar_factor), max_lag_(max_lag) {}
 
   /// Looks for code `code_index` inside `rx` (rx.size() >= code length +
   /// max_lag for full search).
   DetectionResult detect(std::span<const dsp::Cplx> rx,
-                         std::size_t code_index) const;
+                         std::size_t code_index) const {
+    return bank_.detect(rx, code_index, cfar_factor_, max_lag_);
+  }
+
+  /// One-pass batch over several candidate codes (see
+  /// CorrelatorBank::detect_many).
+  void detect_many(std::span<const dsp::Cplx> rx,
+                   std::span<const std::size_t> code_indices,
+                   std::vector<DetectionResult>& out) const {
+    bank_.detect_many(rx, code_indices, out, cfar_factor_, max_lag_);
+  }
+
+  const CorrelatorBank& bank() const { return bank_; }
 
  private:
-  const GoldCodeSet& set_;
+  CorrelatorBank bank_;
   double cfar_factor_;
   std::size_t max_lag_;
 };
@@ -65,6 +76,14 @@ struct BurstSender {
 /// * amplitude * e^{j phase}, delayed by chip_offset) + AWGN of power
 /// `noise_power`. Output length = code length + pad.
 std::vector<dsp::Cplx> synthesize_burst(const GoldCodeSet& set,
+                                        std::span<const BurstSender> senders,
+                                        double noise_power, std::size_t pad,
+                                        Rng& rng);
+
+/// Bank-backed synthesis: combined-signature templates come from the bank's
+/// cache instead of being rebuilt per burst. Identical output (the chip
+/// sums are exact integer arithmetic in double).
+std::vector<dsp::Cplx> synthesize_burst(const CorrelatorBank& bank,
                                         std::span<const BurstSender> senders,
                                         double noise_power, std::size_t pad,
                                         Rng& rng);

@@ -1,0 +1,93 @@
+#pragma once
+// Pre-baked correlation bank for a GoldCodeSet.
+//
+// The sliding correlator's hot loop multiplies received samples by ±1
+// chips. The bank bakes every code's chips into a real-valued (±1.0)
+// template once per set, caches combined-signature baseband templates (the
+// sum a trigger node broadcasts when it must fire several next
+// transmitters, §3.2), and keeps reusable scratch buffers, so per-burst
+// detection does no allocation and no per-chip integer conversion.
+//
+// The correlation kernel processes lags in register-blocked groups, with
+// each lag's accumulator summed in chip order — exactly the reference
+// per-lag order — and takes magnitudes as sqrt(re^2+im^2) instead of the
+// overflow-guarded libm hypot. Every DetectionResult therefore matches the
+// straightforward sliding correlator pinned by tests/golden_test.cpp to
+// within an ulp (identical decisions and lags in practice).
+
+#include <cstddef>
+#include <map>
+#include <span>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "gold/gold_code.h"
+
+namespace dmn::gold {
+
+struct DetectionResult {
+  bool detected = false;
+  double peak_metric = 0.0;   // peak |correlation| normalized by code length
+  double floor_metric = 0.0;  // CFAR noise-floor estimate
+  std::size_t lag = 0;        // lag of the peak
+};
+
+class CorrelatorBank {
+ public:
+  explicit CorrelatorBank(const GoldCodeSet& set);
+
+  const GoldCodeSet& set() const { return set_; }
+
+  /// Code `i`'s chips as ±1.0 doubles (the baked template).
+  std::span<const double> chip_template(std::size_t i) const {
+    return {templates_.data() + i * set_.length(), set_.length()};
+  }
+
+  /// Baseband samples (1 sample per chip) for the sum of the given codes,
+  /// baked on first use per distinct combination and cached. The sum of ±1
+  /// chips is exact integer arithmetic in double, so the cached template is
+  /// identical to summing on the fly.
+  std::span<const dsp::Cplx> combined_template(
+      std::span<const std::size_t> code_indices) const;
+
+  /// Looks for code `code_index` inside `rx` (rx.size() >= code length +
+  /// max_lag for full search). Same decision procedure as the reference
+  /// sliding correlator: CFAR against the median off-peak magnitude plus an
+  /// energy reference against the received RMS.
+  DetectionResult detect(std::span<const dsp::Cplx> rx,
+                         std::size_t code_index, double cfar_factor = 4.0,
+                         std::size_t max_lag = 16) const;
+
+  /// Correlates all candidate codes over one burst in a single pass: the
+  /// structure-of-arrays conversion of `rx` and the per-burst RMS are
+  /// computed once and shared, and results land in `out` (resized to
+  /// codes.size()).
+  void detect_many(std::span<const dsp::Cplx> rx,
+                   std::span<const std::size_t> code_indices,
+                   std::vector<DetectionResult>& out,
+                   double cfar_factor = 4.0, std::size_t max_lag = 16) const;
+
+ private:
+  /// Splits rx into the re/im scratch arrays and returns the RMS over the
+  /// first `len` samples (the shared energy reference).
+  double load_rx(std::span<const dsp::Cplx> rx) const;
+  DetectionResult detect_loaded(std::size_t code_index, std::size_t rx_size,
+                                double rms, double cfar_factor,
+                                std::size_t max_lag) const;
+
+  const GoldCodeSet& set_;
+  std::vector<double> templates_;  // size() x length(), row-major ±1.0
+
+  // Reusable per-burst scratch. Mutable: the bank is logically const while
+  // detecting; the scratch is an implementation detail.
+  struct Scratch {
+    std::vector<double> re, im;          // SoA copy of the burst
+    std::vector<double> acc_re, acc_im;  // per-lag accumulators
+    std::vector<double> mags, rest;      // magnitudes / CFAR workspace
+  };
+  mutable Scratch scratch_;
+  mutable std::map<std::vector<std::size_t>, std::vector<dsp::Cplx>>
+      combined_cache_;
+};
+
+}  // namespace dmn::gold

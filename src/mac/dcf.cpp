@@ -182,7 +182,7 @@ void DcfNode::on_frame_rx(const phy::Frame& frame, const phy::RxInfo& info) {
       // SIFS-spaced ACK (sent regardless of CS, per the standard).
       const auto ack_for = frame.packet_id;
       const auto back_to = frame.src;
-      sim_.schedule_in(params_.sifs, [this, ack_for, back_to] {
+      sim_.post_in(params_.sifs, [this, ack_for, back_to] {
         phy::Frame ack;
         ack.type = phy::FrameType::kAck;
         ack.dst = back_to;

@@ -39,7 +39,7 @@ OmniscientScheduler::OmniscientScheduler(sim::Simulator& sim,
       rand_(graph) {}
 
 void OmniscientScheduler::start(TimeNs at) {
-  sim_.schedule_at(at, [this] { run_slot(); });
+  sim_.post_at(at, [this] { run_slot(); });
 }
 
 TimeNs OmniscientScheduler::slot_duration(std::size_t payload_bytes) const {
@@ -81,7 +81,7 @@ void OmniscientScheduler::run_slot() {
   const TimeNs next = chosen.empty() || max_payload == 0
                           ? params_.slot_time
                           : slot_duration(max_payload);
-  sim_.schedule_in(next, [this] { run_slot(); });
+  sim_.post_in(next, [this] { run_slot(); });
 }
 
 }  // namespace dmn::omni

@@ -1,6 +1,7 @@
 #pragma once
 // Over-the-air frame types shared by every MAC scheme.
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -20,6 +21,9 @@ enum class FrameType {
   kRopResponse,  // client's one-OFDM-symbol queue report
   kSignature,    // combined Gold-signature trigger burst
 };
+
+/// Number of FrameType values (flat per-type counter arrays index by this).
+inline constexpr std::size_t kFrameTypeCount = 6;
 
 const char* to_string(FrameType t);
 

@@ -24,8 +24,13 @@ Medium::Medium(sim::Simulator& sim, const topo::Topology& topo)
     : sim_(sim),
       topo_(topo),
       clients_(topo.num_nodes(), nullptr),
+      inbound_mw_(topo.num_nodes(), 0.0),
+      rop_inbound_mw_(topo.num_nodes(), 0.0),
+      tx_count_(topo.num_nodes(), 0),
       cs_busy_(topo.num_nodes(), false),
-      nav_until_(topo.num_nodes(), 0) {}
+      nav_until_(topo.num_nodes(), 0),
+      cs_threshold_mw_(dbm_to_mw(topo.thresholds().cs_threshold_dbm)),
+      noise_mw_(dbm_to_mw(topo.thresholds().noise_floor_dbm)) {}
 
 void Medium::attach(topo::NodeId node, MediumClient* client) {
   clients_.at(static_cast<std::size_t>(node)) = client;
@@ -47,53 +52,78 @@ double Medium::decode_threshold_db(FrameType t) const {
       // processing-gain-adjusted floor.
       return -21.0;  // 10*log10(127) below the control threshold (approx)
   }
-  return topo_.thresholds().sinr_data_db;
+  // All FrameType values are handled above; reaching here is memory
+  // corruption, not a missing case.
+  __builtin_unreachable();
 }
 
-bool Medium::rop_orthogonal(const Frame& a, const Frame& b) const {
-  return a.type == FrameType::kRopResponse &&
-         b.type == FrameType::kRopResponse;
-}
-
-double Medium::rx_power_sum_mw(topo::NodeId node) const {
-  double acc = external_intf_mw_;
-  for (const auto& tx : active_) {
-    if (tx->frame.src == node) continue;
-    acc += dbm_to_mw(topo_.rss(tx->frame.src, node));
+std::uint32_t Medium::alloc_slot() {
+  if (!free_slots_.empty()) {
+    const std::uint32_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    return slot;
   }
-  return acc;
+  slab_.emplace_back();
+  return static_cast<std::uint32_t>(slab_.size() - 1);
+}
+
+void Medium::apply_tx_power(const ActiveTx& tx, double sign) {
+  // The diagonal of the linear-power matrix is exactly 0 mW (rss of a node
+  // to itself is -inf dBm), so adding the whole row is a no-op for the
+  // transmitter itself — matching the reference accounting that skipped
+  // the own-source term.
+  const auto row = topo_.rss_mw_row(tx.frame.src);
+  const std::size_t n = inbound_mw_.size();
+  double* inbound = inbound_mw_.data();
+  for (std::size_t i = 0; i < n; ++i) inbound[i] += sign * row[i];
+  if (tx.rop) {
+    double* rop = rop_inbound_mw_.data();
+    for (std::size_t i = 0; i < n; ++i) rop[i] += sign * row[i];
+  }
+  // Quiescence resets incremental sums to exactly zero, so add/remove
+  // rounding residues cannot accumulate across the simulation.
+  if (active_.empty()) {
+    std::fill(inbound_mw_.begin(), inbound_mw_.end(), 0.0);
+    std::fill(rop_inbound_mw_.begin(), rop_inbound_mw_.end(), 0.0);
+  }
 }
 
 double Medium::interference_at(topo::NodeId node,
                                const ActiveTx& victim) const {
-  double acc = external_intf_mw_;
-  for (const auto& tx : active_) {
-    if (tx.get() == &victim) continue;
-    if (tx->frame.src == node) continue;  // own tx handled as half-duplex
-    if (rop_orthogonal(tx->frame, victim.frame)) continue;
-    acc += dbm_to_mw(topo_.rss(tx->frame.src, node));
+  const auto n = static_cast<std::size_t>(node);
+  double acc = external_intf_mw_ + inbound_mw_[n];
+  if (victim.rop) {
+    // ROP responses are mutually orthogonal: exclude every concurrent ROP
+    // contribution (the victim's own is part of that sum).
+    acc -= rop_inbound_mw_[n];
+  } else {
+    acc -= topo_.rss_mw(victim.frame.src, node);
   }
-  return acc;
+  // Subtraction can leave a tiny negative residue when the victim is the
+  // only contributor; interference is physically non-negative.
+  return acc > 0.0 ? acc : 0.0;
 }
 
 void Medium::refresh_interference_and_cs() {
   // Update worst-case interference for every in-flight reception.
-  for (const auto& tx : active_) {
-    for (RxAttempt& rx : tx->rx) {
-      const double intf = interference_at(rx.node, *tx);
-      rx.max_intf_mw = std::max(rx.max_intf_mw, intf);
+  for (const std::uint32_t slot : active_) {
+    ActiveTx& tx = slab_[slot];
+    for (RxAttempt& rx : tx.rx) {
+      const double intf = interference_at(rx.node, tx);
+      if (intf > rx.max_intf_mw) rx.max_intf_mw = intf;
       if (transmitting(rx.node)) rx.half_duplex_loss = true;
     }
   }
-  // Edge-triggered CS notifications.
-  for (std::size_t n = 0; n < clients_.size(); ++n) {
-    const auto id = static_cast<topo::NodeId>(n);
-    const bool busy =
-        transmitting(id) ||
-        mw_to_dbm(rx_power_sum_mw(id)) >= topo_.thresholds().cs_threshold_dbm;
-    if (busy != cs_busy_[n]) {
-      cs_busy_[n] = busy;
-      if (clients_[n] != nullptr) clients_[n]->on_cs_change(busy);
+  // Edge-triggered CS notifications. The comparison happens in linear
+  // power against the precomputed threshold (equivalent to the dBm
+  // comparison by monotonicity of the conversion).
+  const std::size_t n = clients_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool busy = tx_count_[i] > 0 ||
+                      external_intf_mw_ + inbound_mw_[i] >= cs_threshold_mw_;
+    if (busy != cs_busy_[i]) {
+      cs_busy_[i] = busy;
+      if (clients_[i] != nullptr) clients_[i]->on_cs_change(busy);
     }
   }
 }
@@ -101,34 +131,35 @@ void Medium::refresh_interference_and_cs() {
 void Medium::transmit(const Frame& frame) {
   assert(frame.duration > 0 && "frame duration must be set");
   assert(frame.src != topo::kNoNode);
-  auto tx = std::make_shared<ActiveTx>();
-  tx->frame = frame;
-  tx->start = sim_.now();
-  tx->end = sim_.now() + frame.duration;
-  ++sent_[frame.type];
+  const std::uint32_t slot = alloc_slot();
+  ActiveTx& tx = slab_[slot];
+  tx.frame = frame;
+  tx.start = sim_.now();
+  tx.end = sim_.now() + frame.duration;
+  tx.rop = frame.type == FrameType::kRopResponse;
+  tx.rx.clear();
+  ++sent_[static_cast<std::size_t>(frame.type)];
 
   // Create reception attempts at every node that can hear the frame and is
-  // not transmitting right now.
-  for (std::size_t n = 0; n < clients_.size(); ++n) {
-    const auto id = static_cast<topo::NodeId>(n);
-    if (id == frame.src || clients_[n] == nullptr) continue;
-    const double rss = topo_.rss(frame.src, id);
-    if (rss < topo_.thresholds().min_rss_dbm) continue;
+  // not transmitting right now. The audible list is precomputed (ascending
+  // id order) from the receiver-sensitivity threshold.
+  for (const topo::NodeId id : topo_.audible_from(frame.src)) {
+    if (clients_[static_cast<std::size_t>(id)] == nullptr) continue;
     RxAttempt rx;
     rx.node = id;
-    rx.rss_mw = dbm_to_mw(rss);
+    rx.rss_mw = topo_.rss_mw(frame.src, id);
     rx.max_intf_mw = 0.0;
     rx.half_duplex_loss = transmitting(id);
-    tx->rx.push_back(rx);
+    tx.rx.push_back(rx);
   }
 
   // NAV: nodes that hear the frame defer beyond its end. Applied at start
   // (header is early in the frame).
   if (frame.nav > 0) {
-    for (const RxAttempt& rx : tx->rx) {
+    for (const RxAttempt& rx : tx.rx) {
       nav_until_[static_cast<std::size_t>(rx.node)] =
           std::max(nav_until_[static_cast<std::size_t>(rx.node)],
-                   tx->end + frame.nav);
+                   tx.end + frame.nav);
     }
   }
 
@@ -139,66 +170,60 @@ void Medium::transmit(const Frame& frame) {
                  to_usec(frame.duration));
   }
 
-  active_.push_back(tx);
+  active_.push_back(slot);
+  ++tx_count_[static_cast<std::size_t>(frame.src)];
+  apply_tx_power(tx, +1.0);
   refresh_interference_and_cs();
 
-  sim_.schedule_at(tx->end, [this, tx] { on_tx_end(tx); });
+  sim_.post_at(tx.end, [this, slot] { on_tx_end(slot); });
 }
 
-void Medium::on_tx_end(std::shared_ptr<ActiveTx> tx) {
+void Medium::on_tx_end(std::uint32_t slot) {
+  ActiveTx& tx = slab_[slot];
   // One final interference refresh (captures transmissions that started and
   // are still running).
-  for (RxAttempt& rx : tx->rx) {
-    rx.max_intf_mw = std::max(rx.max_intf_mw, interference_at(rx.node, *tx));
+  for (RxAttempt& rx : tx.rx) {
+    const double intf = interference_at(rx.node, tx);
+    if (intf > rx.max_intf_mw) rx.max_intf_mw = intf;
     if (transmitting(rx.node)) rx.half_duplex_loss = true;
   }
 
-  active_.erase(std::remove(active_.begin(), active_.end(), tx),
-                active_.end());
+  active_.erase(std::find(active_.begin(), active_.end(), slot));
+  --tx_count_[static_cast<std::size_t>(tx.frame.src)];
+  apply_tx_power(tx, -1.0);
   refresh_interference_and_cs();
 
-  const double noise_mw = dbm_to_mw(topo_.thresholds().noise_floor_dbm);
-  const double th = decode_threshold_db(tx->frame.type);
-  for (const RxAttempt& rx : tx->rx) {
-    MediumClient* client = clients_.at(static_cast<std::size_t>(rx.node));
+  const double th = decode_threshold_db(tx.frame.type);
+  for (const RxAttempt& rx : tx.rx) {
+    MediumClient* client = clients_[static_cast<std::size_t>(rx.node)];
     if (client == nullptr) continue;
     RxInfo info;
     info.rss_dbm = mw_to_dbm(rx.rss_mw);
-    info.min_sinr_db = ratio_to_db(rx.rss_mw / (noise_mw + rx.max_intf_mw));
+    info.min_sinr_db = ratio_to_db(rx.rss_mw / (noise_mw_ + rx.max_intf_mw));
     info.half_duplex_loss = rx.half_duplex_loss;
     info.decoded = !rx.half_duplex_loss && info.min_sinr_db >= th;
-    if (medium_trace_enabled() && tx->frame.dst == rx.node &&
-        !info.decoded) {
+    if (medium_trace_enabled() && tx.frame.dst == rx.node && !info.decoded) {
       std::fprintf(stderr, "%10.1f RXFAIL %-4s %d->%d sinr=%.1f hd=%d\n",
-                   to_usec(sim_.now()), to_string(tx->frame.type),
-                   tx->frame.src, tx->frame.dst, info.min_sinr_db,
+                   to_usec(sim_.now()), to_string(tx.frame.type),
+                   tx.frame.src, tx.frame.dst, info.min_sinr_db,
                    info.half_duplex_loss ? 1 : 0);
     }
-    client->on_frame_rx(tx->frame, info);
+    // Clients may reentrantly transmit() from this callback; the slab is a
+    // deque, so `tx` stays valid, and `slot` is not on the free list yet.
+    client->on_frame_rx(tx.frame, info);
   }
+  free_slots_.push_back(slot);
 }
 
 bool Medium::carrier_busy(topo::NodeId node) const {
-  if (transmitting(node)) return true;
-  return mw_to_dbm(rx_power_sum_mw(node)) >=
-         topo_.thresholds().cs_threshold_dbm;
-}
-
-bool Medium::transmitting(topo::NodeId node) const {
-  for (const auto& tx : active_) {
-    if (tx->frame.src == node) return true;
-  }
-  return false;
+  const auto n = static_cast<std::size_t>(node);
+  if (tx_count_[n] > 0) return true;
+  return external_intf_mw_ + inbound_mw_[n] >= cs_threshold_mw_;
 }
 
 bool Medium::virtual_busy(topo::NodeId node) const {
   if (carrier_busy(node)) return true;
   return nav_until_.at(static_cast<std::size_t>(node)) > sim_.now();
-}
-
-std::uint64_t Medium::frames_sent(FrameType t) const {
-  const auto it = sent_.find(t);
-  return it == sent_.end() ? 0 : it->second;
 }
 
 void Medium::set_external_interference_mw(double mw) {

@@ -17,10 +17,23 @@
 //    interactions are judged by rop::RopLinkModel at the AP instead;
 //  * propagation delay is folded into slot/CP margins (<= 1 us at WLAN
 //    ranges), as in the paper.
+//
+// Implementation: interference accounting is incremental. Each node carries
+// a running inbound-power sum (and a parallel sum restricted to ROP
+// responses, for the orthogonality exclusion) updated with one add per node
+// on every TX start/end from the topology's precomputed linear-power row.
+// The interference seen by an in-flight reception is then derived in O(1)
+// as sum minus the victim's own contribution, instead of re-summing all
+// active transmissions per node per edge. Active transmissions live in a
+// slab with a free list (stable storage, recycled RxAttempt capacity), and
+// TX-end events are posted fire-and-forget, so a transmission allocates
+// nothing in steady state. docs/PERFORMANCE.md lists the invariants this
+// accounting preserves relative to the scratch-recompute reference
+// (pinned by tests/golden_test.cpp).
 
-#include <functional>
-#include <map>
-#include <memory>
+#include <array>
+#include <cstdint>
+#include <deque>
 #include <vector>
 
 #include "phy/frame.h"
@@ -67,7 +80,9 @@ class Medium {
   bool carrier_busy(topo::NodeId node) const;
 
   /// True if `node` is currently transmitting.
-  bool transmitting(topo::NodeId node) const;
+  bool transmitting(topo::NodeId node) const {
+    return tx_count_[static_cast<std::size_t>(node)] > 0;
+  }
 
   /// NAV-aware busy: carrier busy OR virtual carrier (NAV) active.
   bool virtual_busy(topo::NodeId node) const;
@@ -76,7 +91,9 @@ class Medium {
   sim::Simulator& simulator() { return sim_; }
 
   /// Cumulative frame counts by type (diagnostics).
-  std::uint64_t frames_sent(FrameType t) const;
+  std::uint64_t frames_sent(FrameType t) const {
+    return sent_[static_cast<std::size_t>(t)];
+  }
 
   /// External interference power (mW) received at every node — a wideband
   /// interferer outside the system (fault injection). Counts toward carrier
@@ -86,7 +103,6 @@ class Medium {
   double external_interference_mw() const { return external_intf_mw_; }
 
  private:
-  struct ActiveTx;
   struct RxAttempt {
     topo::NodeId node;
     double rss_mw;
@@ -95,27 +111,46 @@ class Medium {
   };
   struct ActiveTx {
     Frame frame;
-    TimeNs start;
-    TimeNs end;
+    TimeNs start = 0;
+    TimeNs end = 0;
+    bool rop = false;  // frame.type == kRopResponse (orthogonality class)
     std::vector<RxAttempt> rx;
   };
 
-  void on_tx_end(std::shared_ptr<ActiveTx> tx);
-  /// Recomputes interference for all in-flight receptions and CS states.
+  std::uint32_t alloc_slot();
+  void on_tx_end(std::uint32_t slot);
+  /// Sweeps worst-case interference for all in-flight receptions and
+  /// re-evaluates edge-triggered carrier sense, after any accounting change.
   void refresh_interference_and_cs();
-  double rx_power_sum_mw(topo::NodeId node) const;
+  /// O(1) interference at `node` against `victim`, derived from the running
+  /// per-node sums (sum minus the victim's own contribution; for ROP
+  /// victims, minus all concurrent ROP contributions).
   double interference_at(topo::NodeId node, const ActiveTx& victim) const;
+  /// Adds (sign = +1) or removes (sign = -1) a transmission's power row
+  /// from the per-node sums.
+  void apply_tx_power(const ActiveTx& tx, double sign);
   double decode_threshold_db(FrameType t) const;
-  bool rop_orthogonal(const Frame& a, const Frame& b) const;
 
   sim::Simulator& sim_;
   const topo::Topology& topo_;
   std::vector<MediumClient*> clients_;
-  std::vector<std::shared_ptr<ActiveTx>> active_;
+
+  // Slab of transmissions: deque gives stable references across growth; a
+  // free list recycles slots (and their RxAttempt vector capacity).
+  std::deque<ActiveTx> slab_;
+  std::vector<std::uint32_t> free_slots_;
+  std::vector<std::uint32_t> active_;  // slot ids, insertion order
+
+  // Incremental per-node accounting.
+  std::vector<double> inbound_mw_;      // sum of active contributions
+  std::vector<double> rop_inbound_mw_;  // same, kRopResponse sources only
+  std::vector<std::uint32_t> tx_count_;   // active transmissions per node
   std::vector<bool> cs_busy_;
   std::vector<TimeNs> nav_until_;
-  std::map<FrameType, std::uint64_t> sent_;
+  std::array<std::uint64_t, kFrameTypeCount> sent_{};
   double external_intf_mw_ = 0.0;
+  double cs_threshold_mw_;  // thresholds().cs_threshold_dbm, linear
+  double noise_mw_;         // thresholds().noise_floor_dbm, linear
 };
 
 }  // namespace dmn::phy

@@ -6,11 +6,16 @@
 
 namespace dmn::sim {
 
-EventHandle Simulator::schedule_at(TimeNs at, std::function<void()> fn) {
+EventHandle Simulator::schedule_at(TimeNs at, EventFn fn) {
   assert(at >= now_ && "cannot schedule in the past");
   auto state = std::make_shared<EventHandle::State>();
-  queue_.push(Entry{at, next_seq_++, std::move(fn), state});
+  push_entry(Entry{at, next_seq_++, std::move(fn), state});
   return EventHandle(std::move(state));
+}
+
+void Simulator::post_at(TimeNs at, EventFn fn) {
+  assert(at >= now_ && "cannot schedule in the past");
+  push_entry(Entry{at, next_seq_++, std::move(fn), nullptr});
 }
 
 void Simulator::cancel(EventHandle& h) {
@@ -19,22 +24,18 @@ void Simulator::cancel(EventHandle& h) {
 
 void Simulator::run_until(TimeNs until) {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) {
-    const Entry& top = queue_.top();
-    if (top.at > until) break;
-    // Move the entry out before popping; priority_queue::top is const.
-    Entry entry{top.at, top.seq, std::move(const_cast<Entry&>(top).fn),
-                std::move(const_cast<Entry&>(top).state)};
-    queue_.pop();
-    if (entry.state->cancelled) continue;
+  while (!heap_.empty() && !stopped_) {
+    if (heap_.front().at > until) break;
+    Entry entry = pop_entry();
+    if (entry.state != nullptr && entry.state->cancelled) continue;
     now_ = entry.at;
-    entry.state->done = true;
+    if (entry.state != nullptr) entry.state->done = true;
     ++executed_;
     entry.fn();
   }
   // Fast-forward the clock to the horizon (but not to the run()'s
   // infinite sentinel) so callers observe "simulated until `until`".
-  if (now_ < until && queue_.empty() &&
+  if (now_ < until && heap_.empty() &&
       until != std::numeric_limits<TimeNs>::max()) {
     now_ = until;
   }

@@ -5,16 +5,113 @@
 // tick run in FIFO order of scheduling (stable), which keeps protocol state
 // machines deterministic. Cancellation is lazy: cancel() flags the event and
 // the run loop skips flagged entries.
+//
+// The queue is allocation-free on the hot path:
+//  * event callables live in fixed inline storage inside the queue entry
+//    (EventFn below) — no heap allocation unless a capture exceeds the
+//    inline capacity, which no call site in this codebase does;
+//  * cancellation state is allocated lazily: post_at()/post_in() are
+//    fire-and-forget and carry no state at all, while schedule_at()/
+//    schedule_in() allocate the shared EventHandle state the caller keeps.
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
-#include <queue>
+#include <new>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "util/time.h"
 
 namespace dmn::sim {
+
+/// Move-only `void()` callable with inline storage. Callables up to
+/// kInlineCapacity bytes (every scheduling lambda in the simulator — the
+/// largest captures a SignatureBurst by value) are stored in place; larger
+/// ones fall back to a single heap allocation, preserving correctness.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callable adaptor
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); };
+      relocate_ = [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      };
+      destroy_ = [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); };
+    } else {
+      // Oversized capture: store a pointer in the buffer instead.
+      Fn* heap = new Fn(std::forward<F>(f));
+      ::new (static_cast<void*>(buf_)) Fn*(heap);
+      invoke_ = [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); };
+      relocate_ = [](void* dst, void* src) {
+        Fn** s = std::launder(reinterpret_cast<Fn**>(src));
+        ::new (dst) Fn*(*s);
+      };
+      destroy_ = [](void* p) {
+        delete *std::launder(reinterpret_cast<Fn**>(p));
+      };
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept
+      : invoke_(other.invoke_),
+        relocate_(other.relocate_),
+        destroy_(other.destroy_) {
+    if (relocate_ != nullptr) relocate_(buf_, other.buf_);
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      invoke_ = other.invoke_;
+      relocate_ = other.relocate_;
+      destroy_ = other.destroy_;
+      if (relocate_ != nullptr) relocate_(buf_, other.buf_);
+      other.invoke_ = nullptr;
+      other.relocate_ = nullptr;
+      other.destroy_ = nullptr;
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  void reset() {
+    if (destroy_ != nullptr) destroy_(buf_);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void* dst, void* src) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
 
 /// Handle to a scheduled event; may be used to cancel it.
 class EventHandle {
@@ -43,12 +140,20 @@ class Simulator {
   /// Current simulation time.
   TimeNs now() const { return now_; }
 
-  /// Schedule `fn` to run at absolute time `at` (>= now()).
-  EventHandle schedule_at(TimeNs at, std::function<void()> fn);
+  /// Schedule `fn` to run at absolute time `at` (>= now()). The returned
+  /// handle can cancel the event; if the handle is discarded, prefer
+  /// post_at(), which skips the handle-state allocation.
+  EventHandle schedule_at(TimeNs at, EventFn fn);
 
   /// Schedule `fn` to run `delay` after now().
-  EventHandle schedule_in(TimeNs delay, std::function<void()> fn) {
+  EventHandle schedule_in(TimeNs delay, EventFn fn) {
     return schedule_at(now_ + delay, std::move(fn));
+  }
+
+  /// Fire-and-forget scheduling: no cancellation handle, no allocation.
+  void post_at(TimeNs at, EventFn fn);
+  void post_in(TimeNs delay, EventFn fn) {
+    post_at(now_ + delay, std::move(fn));
   }
 
   /// Cancel a pending event. No-op if already run or cancelled.
@@ -71,9 +176,11 @@ class Simulator {
   struct Entry {
     TimeNs at;
     std::uint64_t seq;  // tie-break: FIFO within a tick
-    std::function<void()> fn;
-    std::shared_ptr<EventHandle::State> state;
+    EventFn fn;
+    std::shared_ptr<EventHandle::State> state;  // null for post_at events
   };
+  /// Min-heap order on (at, seq) — strict total order, so the pop sequence
+  /// is identical regardless of heap internals.
   struct Later {
     bool operator()(const Entry& a, const Entry& b) const {
       if (a.at != b.at) return a.at > b.at;
@@ -81,7 +188,18 @@ class Simulator {
     }
   };
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> queue_;
+  void push_entry(Entry e) {
+    heap_.push_back(std::move(e));
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  Entry pop_entry() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    return e;
+  }
+
+  std::vector<Entry> heap_;
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;

@@ -12,6 +12,22 @@ Topology::Topology(std::vector<Node> nodes, RssMap rss,
   if (rss_.size() != nodes_.size()) {
     throw std::invalid_argument("Topology: RSS map size != node count");
   }
+  // Bake the PHY fast-path tables: the linear-power matrix (one pow() per
+  // pair here instead of one per interference term at runtime) and the
+  // per-source audible-neighbor lists that bound frame delivery fan-out.
+  const std::size_t n = nodes_.size();
+  rss_mw_.resize(n * n);
+  audible_.resize(n);
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      const double dbm = rss_.rss(static_cast<NodeId>(a),
+                                  static_cast<NodeId>(b));
+      rss_mw_[a * n + b] = dbm_to_mw(dbm);
+      if (a != b && dbm >= thresholds_.min_rss_dbm) {
+        audible_[a].push_back(static_cast<NodeId>(b));
+      }
+    }
+  }
 }
 
 bool Topology::can_sense(NodeId a, NodeId b) const {

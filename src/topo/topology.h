@@ -4,6 +4,7 @@
 // evaluation uses: T(m,n) drawn from a trace (§4.2.1), ns-3-style random
 // placement (§4.2.5), and hand-built figure topologies (Figs 1, 7, 13).
 
+#include <span>
 #include <tuple>
 #include <vector>
 
@@ -69,6 +70,32 @@ class Topology {
 
   double rss(NodeId a, NodeId b) const { return rss_.rss(a, b); }
 
+  // ---- PHY fast path ---------------------------------------------------
+  // Derived tables precomputed at construction so the per-transmission
+  // loops in phy::Medium never convert dBm (a pow() per term) and never
+  // visit nodes that cannot hear the transmitter.
+
+  /// Linear received power in mW for the (a, b) pair; exactly
+  /// dbm_to_mw(rss(a, b)). 0 mW on the diagonal (rss is -inf there).
+  double rss_mw(NodeId a, NodeId b) const {
+    return rss_mw_[static_cast<std::size_t>(a) * nodes_.size() +
+                   static_cast<std::size_t>(b)];
+  }
+
+  /// Row of the linear-power matrix: contribution of a transmission from
+  /// `src` to every node, indexable by NodeId.
+  std::span<const double> rss_mw_row(NodeId src) const {
+    return {rss_mw_.data() + static_cast<std::size_t>(src) * nodes_.size(),
+            nodes_.size()};
+  }
+
+  /// Nodes that receive `src` at or above the receiver sensitivity
+  /// (thresholds().min_rss_dbm), ascending id order, excluding `src`.
+  /// These are the only nodes a frame from `src` can be delivered to.
+  std::span<const NodeId> audible_from(NodeId src) const {
+    return audible_[static_cast<std::size_t>(src)];
+  }
+
   /// a hears b's transmissions for carrier sensing.
   bool can_sense(NodeId a, NodeId b) const;
 
@@ -89,6 +116,8 @@ class Topology {
   std::vector<Node> nodes_;
   RssMap rss_;
   PhyThresholds thresholds_;
+  std::vector<double> rss_mw_;              // row-major linear-power matrix
+  std::vector<std::vector<NodeId>> audible_;  // per-src audible neighbors
 };
 
 /// Incremental builder for hand-crafted figure topologies. RSS defaults to

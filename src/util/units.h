@@ -12,17 +12,27 @@ namespace dmn {
 /// Smallest representable power used as "silence" (-infinity dBm stand-in).
 inline constexpr double kZeroPowerMw = 0.0;
 
+// The conversions are inline: they sit inside the interference and
+// carrier-sense loops, the hottest code in the simulator, and must not be
+// called through a translation-unit boundary.
+
 /// dBm -> milliwatts.
-double dbm_to_mw(double dbm);
+inline double dbm_to_mw(double dbm) { return std::pow(10.0, dbm / 10.0); }
 
 /// milliwatts -> dBm. Returns -infinity for 0 mW.
-double mw_to_dbm(double mw);
+inline double mw_to_dbm(double mw) {
+  if (mw <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(mw);
+}
 
 /// Ratio (linear) -> dB.
-double ratio_to_db(double ratio);
+inline double ratio_to_db(double ratio) {
+  if (ratio <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(ratio);
+}
 
 /// dB -> linear ratio.
-double db_to_ratio(double db);
+inline double db_to_ratio(double db) { return std::pow(10.0, db / 10.0); }
 
 /// Thermal noise floor for a 20 MHz 802.11 channel, including a typical
 /// receiver noise figure: -174 dBm/Hz + 10*log10(20e6) + 7 dB NF ~= -94 dBm.

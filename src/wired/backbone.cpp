@@ -18,11 +18,11 @@ void Backbone::send(std::function<void()> fn) {
   DeliveryMod mod;
   if (fault_hook_) mod = fault_hook_();
   if (mod.copies == 0) return;  // dropped in the wired fabric
-  sim_.schedule_in(latency + mod.extra_latency, fn);
+  sim_.post_in(latency + mod.extra_latency, fn);
   for (unsigned c = 1; c < mod.copies; ++c) {
     // Duplicates take their own independently-sampled path through the
     // fabric (a retransmitting switch does not replay the original delay).
-    sim_.schedule_in(sample_latency() + mod.extra_latency, fn);
+    sim_.post_in(sample_latency() + mod.extra_latency, fn);
   }
 }
 
