@@ -55,15 +55,15 @@ int main() {
     points.push_back({topo, cfg, "wired jitter sigma 200us"});
   }
 
-  api::SweepRunner runner({api::sweep_threads_from_env(), nullptr});
-  const auto results = runner.run(points);
+  bench::BenchJson json("ablation_domino");
+  const auto report = bench::run_sweep(points, "ablation_domino", &json);
 
   bench::print_header("DOMINO design ablations (Figure 7 net, saturated)");
   std::printf("%-34s %8s %9s %9s %9s\n", "variant", "Mbps", "fairness",
               "selfstart", "ack_to");
-  bench::BenchJson json("ablation_domino");
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto& r = results[i];
+    if (!report.ok(i)) continue;
+    const auto& r = report.result(i);
     std::printf("%-34s %8.2f %9.3f %9llu %9llu\n", points[i].label.c_str(),
                 r.throughput_mbps(), r.jain_fairness,
                 static_cast<unsigned long long>(r.domino_self_starts),
@@ -78,9 +78,5 @@ int main() {
   std::printf(
       "\nexpected: backup triggers and fake links buy robustness (fewer "
       "self-starts); degradations cost throughput, not liveness\n");
-  std::printf("sweep: %zu points on %zu threads in %.2fs\n",
-              runner.stats().points, runner.stats().threads,
-              runner.stats().wall_seconds);
-  json.meta("wall_seconds", runner.stats().wall_seconds);
   return 0;
 }

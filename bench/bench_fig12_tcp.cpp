@@ -36,8 +36,8 @@ int main() {
     }
   }
 
-  api::SweepRunner runner({api::sweep_threads_from_env(), nullptr});
-  const auto results = runner.run(points);
+  bench::BenchJson json("fig12_tcp");
+  const auto report = bench::run_sweep(points, "fig12_tcp", &json);
 
   bench::print_header("Figure 12(d-f): TCP on T(10,2), downlink 10 Mbps");
   std::printf("%8s | %25s | %25s | %25s\n", "", "goodput (Mbps)",
@@ -46,11 +46,15 @@ int main() {
               "DOMINO", "CENTAUR", "DCF", "DOMINO", "CENTAUR", "DCF",
               "DOMINO", "CENTAUR", "DCF");
 
-  bench::BenchJson json("fig12_tcp");
   for (std::size_t u = 0; u < uplinks.size(); ++u) {
     double tput[3], delay[3], jain[3];
     for (int i = 0; i < 3; ++i) {
-      const auto& r = results[u * 3 + static_cast<std::size_t>(i)];
+      const std::size_t idx = u * 3 + static_cast<std::size_t>(i);
+      if (!report.ok(idx)) {
+        tput[i] = delay[i] = jain[i] = 0.0;
+        continue;
+      }
+      const auto& r = report.result(idx);
       tput[i] = r.throughput_mbps();
       delay[i] = r.mean_delay_us / 1000.0;
       jain[i] = r.jain_fairness;
@@ -69,9 +73,5 @@ int main() {
   std::printf(
       "\npaper: DOMINO TCP gain 10-15%% (ACKs burn slots), fairness gain "
       "17-39%%, delay comparable to DCF\n");
-  std::printf("sweep: %zu points on %zu threads in %.2fs\n",
-              runner.stats().points, runner.stats().threads,
-              runner.stats().wall_seconds);
-  json.meta("wall_seconds", runner.stats().wall_seconds);
   return 0;
 }

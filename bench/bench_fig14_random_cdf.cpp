@@ -37,14 +37,15 @@ int main() {
     points.push_back({topo, cfg, "run " + std::to_string(run) + " DOMINO"});
   }
 
-  api::SweepRunner runner({api::sweep_threads_from_env(), nullptr});
-  const auto results = runner.run(points);
-
   bench::BenchJson json("fig14_random_cdf");
+  const auto report = bench::run_sweep(points, "fig14_random_cdf", &json);
+
   std::vector<double> gains;
   for (int run = 0; run < runs; ++run) {
-    const auto& dcf = results[static_cast<std::size_t>(2 * run)];
-    const auto& dom = results[static_cast<std::size_t>(2 * run + 1)];
+    const std::size_t di = static_cast<std::size_t>(2 * run);
+    if (!report.ok(di) || !report.ok(di + 1)) continue;
+    const auto& dcf = report.result(di);
+    const auto& dom = report.result(di + 1);
     double gain = 0.0;
     if (dcf.aggregate_throughput_bps > 0) {
       gain = dom.aggregate_throughput_bps / dcf.aggregate_throughput_bps;
@@ -70,10 +71,5 @@ int main() {
     std::printf("\nmedian gain: %.2fx (paper: 1.58x, range 1.22-1.96x)\n",
                 gains[gains.size() / 2]);
   }
-  std::printf("sweep: %zu points on %zu threads in %.2fs\n",
-              runner.stats().points, runner.stats().threads,
-              runner.stats().wall_seconds);
-  json.meta("wall_seconds", runner.stats().wall_seconds);
-  json.meta("threads", static_cast<double>(runner.stats().threads));
   return 0;
 }

@@ -34,8 +34,8 @@ int main() {
     }
   }
 
-  api::SweepRunner runner({api::sweep_threads_from_env(), nullptr});
-  const auto results = runner.run(points);
+  bench::BenchJson json("polling_frequency");
+  const auto report = bench::run_sweep(points, "polling_frequency", &json);
 
   bench::print_header(
       "Polling frequency (§5): batch size vs UDP delay / throughput, "
@@ -45,11 +45,15 @@ int main() {
   std::printf("%8s | %10s %11s | %10s %11s\n", "batch", "Mbps", "delay ms",
               "Mbps", "delay ms");
 
-  bench::BenchJson json("polling_frequency");
   for (std::size_t b = 0; b < 4; ++b) {
     double tput[2], delay[2];
     for (int i = 0; i < 2; ++i) {
-      const auto& r = results[b * 2 + static_cast<std::size_t>(i)];
+      const std::size_t idx = b * 2 + static_cast<std::size_t>(i);
+      if (!report.ok(idx)) {
+        tput[i] = delay[i] = 0.0;
+        continue;
+      }
+      const auto& r = report.result(idx);
       tput[i] = r.throughput_mbps();
       delay[i] = r.mean_delay_us / 1000.0;
       json.add_row()
@@ -64,9 +68,5 @@ int main() {
   std::printf(
       "\npaper: heavy traffic — larger batches slightly better; light "
       "traffic — delay increases with batch size\n");
-  std::printf("sweep: %zu points on %zu threads in %.2fs\n",
-              runner.stats().points, runner.stats().threads,
-              runner.stats().wall_seconds);
-  json.meta("wall_seconds", runner.stats().wall_seconds);
   return 0;
 }

@@ -108,8 +108,8 @@ int main() {
     }
   }
 
-  api::SweepRunner runner({api::sweep_threads_from_env(), nullptr});
-  const auto results = runner.run(points);
+  bench::BenchJson json("resilience");
+  const auto report = bench::run_sweep(points, "resilience", &json);
 
   bench::print_header(
       "chain resilience: degradation curves under injected faults (Fig 7 "
@@ -117,9 +117,9 @@ int main() {
   std::printf("%-22s %-10s %8s %9s %7s %7s %6s %6s %6s\n", "axis=severity",
               "scheme", "Mbps", "fairness", "missed", "selfst", "rec50",
               "rec95", "recmax");
-  bench::BenchJson json("resilience");
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto& r = results[i];
+    if (!report.ok(i)) continue;
+    const auto& r = report.result(i);
     const auto& m = meta[i];
     const Pctls rec = recovery_pctls(r.domino_recovery_latency_slots);
     char axis_sev[32];
@@ -162,9 +162,5 @@ int main() {
       "\nexpected: DOMINO degrades gracefully (bounded missed rows, small "
       "recovery latencies) where strict schedules collapse; DCF is "
       "insensitive to backbone faults but loses air to interference\n");
-  std::printf("sweep: %zu points on %zu threads in %.2fs\n",
-              runner.stats().points, runner.stats().threads,
-              runner.stats().wall_seconds);
-  json.meta("wall_seconds", runner.stats().wall_seconds);
   return 0;
 }

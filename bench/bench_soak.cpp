@@ -1,0 +1,146 @@
+// Soak / crash-recovery harness for the checkpointing sweep runner
+// (docs/RUNNER.md): runs a reference sweep to completion, then fork()s a
+// victim process that runs the same sweep with checkpointing enabled and is
+// killed (hard _exit, no cleanup — the moral equivalent of SIGKILL or a
+// power cut) partway through, and finally resumes from the victim's
+// checkpoint in this process. Passes iff the resumed run restores at least
+// one point and its serialized report is byte-identical to the
+// uninterrupted reference.
+//
+// Environment knobs:
+//   DMN_SOAK_POINTS      sweep size               (default 8)
+//   DMN_SOAK_KILL_AFTER  points before the kill   (default 3)
+//   DMN_SOAK_SECONDS     simulated secs per point (default 0.5)
+//   DMN_SWEEP_CHECKPOINT checkpoint path          (default dmn_soak.ckpt)
+//
+// CI runs this as a smoke test ("kill a sweep mid-run, assert the resume
+// merges byte-identically") and archives the checkpoint file. Exits 0 on
+// success, 1 on any mismatch. POSIX-only (fork); on other platforms it
+// compiles to a skip.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "api/sweep.h"
+#include "api/sweep_io.h"
+#include "bench_util.h"
+
+#ifndef _WIN32
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
+
+using namespace dmn;
+
+namespace {
+
+std::size_t env_size(const char* name, std::size_t fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  const long n = std::strtol(v, nullptr, 10);
+  return n > 0 ? static_cast<std::size_t>(n) : fallback;
+}
+
+std::vector<api::SweepPoint> soak_points(std::size_t count, TimeNs dur) {
+  const auto topo = bench::fig7_topology();
+  api::ExperimentConfig base;
+  base.scheme = api::Scheme::kDomino;
+  base.duration = dur;
+  base.traffic.saturate_downlink = true;
+  return api::seed_sweep(topo, base, /*first_seed=*/100, count);
+}
+
+}  // namespace
+
+int main() {
+#ifdef _WIN32
+  std::printf("bench_soak: fork() unavailable on this platform, skipping\n");
+  return 0;
+#else
+  const std::size_t num_points = env_size("DMN_SOAK_POINTS", 8);
+  const std::size_t kill_after =
+      std::min(env_size("DMN_SOAK_KILL_AFTER", 3), num_points - 1);
+  const TimeNs dur = sec(bench::bench_seconds(0.5));
+  const char* ckpt_env = std::getenv("DMN_SWEEP_CHECKPOINT");
+  const std::string ckpt =
+      (ckpt_env != nullptr && *ckpt_env != '\0') ? ckpt_env : "dmn_soak.ckpt";
+  std::remove(ckpt.c_str());
+
+  const auto points = soak_points(num_points, dur);
+
+  // Reference: the uninterrupted run, no checkpointing involved.
+  std::string reference;
+  {
+    api::SweepRunner runner;
+    reference = api::serialize_report(runner.run_outcomes(points));
+  }
+
+  // Victim: fork() BEFORE any sweep threads exist, so the child is a clean
+  // single-threaded process. It runs the same sweep with checkpointing and
+  // _exit()s from the progress callback once kill_after points are done —
+  // no destructors, no atexit, exactly what SIGKILL leaves behind.
+  const pid_t child = fork();
+  if (child < 0) {
+    std::perror("bench_soak: fork");
+    return 1;
+  }
+  if (child == 0) {
+    api::SweepOptions opt;
+    opt.num_threads = 1;  // deterministic progress order for the kill point
+    opt.checkpoint_path = ckpt;
+    opt.sweep_name = "soak";
+    opt.on_progress = [kill_after](std::size_t done, std::size_t) {
+      if (done >= kill_after) _exit(42);
+    };
+    api::SweepRunner runner(opt);
+    runner.run_outcomes(points);
+    _exit(0);  // only reached if the kill threshold exceeded the sweep
+  }
+  int status = 0;
+  if (waitpid(child, &status, 0) != child) {
+    std::perror("bench_soak: waitpid");
+    return 1;
+  }
+  std::printf("bench_soak: victim exited with status %d after >= %zu points\n",
+              WIFEXITED(status) ? WEXITSTATUS(status) : -1, kill_after);
+
+  // Resume: same sweep, same checkpoint path, full thread pool.
+  api::SweepOptions opt = api::sweep_options_from_env();
+  opt.checkpoint_path = ckpt;
+  opt.sweep_name = "soak";
+  api::SweepRunner runner(opt);
+  const auto resumed = runner.run_outcomes(points);
+  const std::string merged = api::serialize_report(resumed);
+
+  std::printf(
+      "bench_soak: resumed %zu points (%zu restored from checkpoint, %zu "
+      "recomputed) on %zu threads\n",
+      runner.stats().points, runner.stats().restored,
+      runner.stats().points - runner.stats().restored,
+      runner.stats().threads);
+
+  bool ok = true;
+  if (runner.stats().restored == 0) {
+    std::fprintf(stderr,
+                 "bench_soak: FAIL — resume restored nothing from %s\n",
+                 ckpt.c_str());
+    ok = false;
+  }
+  if (merged != reference) {
+    std::fprintf(stderr,
+                 "bench_soak: FAIL — resumed report differs from the "
+                 "uninterrupted reference (%zu vs %zu bytes)\n",
+                 merged.size(), reference.size());
+    ok = false;
+  }
+  if (ok) {
+    std::printf(
+        "bench_soak: PASS — resumed report is byte-identical to the "
+        "uninterrupted run (%zu bytes)\n",
+        merged.size());
+  }
+  return ok ? 0 : 1;
+#endif
+}

@@ -12,6 +12,9 @@
 //   DMN_BENCH_JSON     when set, benches also write machine-readable
 //                      BENCH_<name>.json rows there (a directory, or a
 //                      literal *.json file path)
+// plus the runner knobs every sweep inherits through run_sweep (see
+// docs/RUNNER.md): DMN_SWEEP_CHECKPOINT, DMN_SWEEP_POINT_TIMEOUT,
+// DMN_SWEEP_POINT_MAX_EVENTS, DMN_SWEEP_RETRIES.
 
 #include <algorithm>
 #include <cstdio>
@@ -199,5 +202,64 @@ class BenchJson {
   std::vector<std::pair<std::string, std::string>> meta_;
   std::vector<Row> rows_;
 };
+
+// ---- outcome-aware sweep entry point ---------------------------------------
+
+/// Runs a sweep with the full robustness stack (checkpointing, watchdogs,
+/// retries, graceful shutdown — all wired from the environment) and prints
+/// the shared summary line. Failed points are reported to stderr instead of
+/// aborting the bench; callers guard each row with `report.ok(i)`.
+/// When `json` is given, the sweep metadata rows every bench used to emit by
+/// hand are attached to it.
+inline api::SweepReport run_sweep(const std::vector<api::SweepPoint>& points,
+                                  const std::string& name,
+                                  BenchJson* json = nullptr) {
+  api::SweepOptions options = api::sweep_options_from_env();
+  options.sweep_name = name;
+  api::SweepRunner runner(options);
+  api::SweepReport report = runner.run_outcomes(points);
+  const api::SweepStats& st = report.stats;
+
+  for (std::size_t i = 0; i < report.outcomes.size(); ++i) {
+    const api::PointOutcome& o = report.outcomes[i];
+    if (o.ok()) continue;
+    const char* label =
+        points[i].label.empty() ? "(unlabeled)" : points[i].label.c_str();
+    switch (o.status) {
+      case api::PointStatus::kError:
+        std::fprintf(stderr, "%s: point %zu [%s] failed: %s: %s\n",
+                     name.c_str(), i, label, o.error_type.c_str(),
+                     o.error_message.c_str());
+        break;
+      case api::PointStatus::kTimedOut:
+        std::fprintf(stderr,
+                     "%s: point %zu [%s] timed out at sim t=%.3fs after "
+                     "%llu events\n",
+                     name.c_str(), i, label,
+                     static_cast<double>(o.sim_time_ns) * 1e-9,
+                     static_cast<unsigned long long>(o.events_executed));
+        break;
+      default:
+        std::fprintf(stderr, "%s: point %zu [%s] skipped\n", name.c_str(), i,
+                     label);
+        break;
+    }
+  }
+
+  std::printf(
+      "sweep: %zu points on %zu threads in %.2fs "
+      "(%zu ok, %zu restored, %zu failed, %zu timed out, %zu skipped)\n",
+      st.points, st.threads, st.wall_seconds, st.ok, st.restored, st.errors,
+      st.timeouts, st.skipped);
+  if (json != nullptr) {
+    json->meta("wall_seconds", st.wall_seconds);
+    json->meta("threads", static_cast<double>(st.threads));
+    json->meta("points_ok", static_cast<double>(st.ok));
+    json->meta("points_failed", static_cast<double>(st.errors));
+    json->meta("points_timed_out", static_cast<double>(st.timeouts));
+    json->meta("points_skipped", static_cast<double>(st.skipped));
+  }
+  return report;
+}
 
 }  // namespace dmn::bench

@@ -49,16 +49,26 @@ int main(int argc, char** argv) {
     cfg.traffic.uplink_bps = 2e6;
     points.push_back({topo, cfg, api::to_string(s)});
   }
-  api::SweepRunner runner;
-  const auto results = runner.run(points);
+  api::SweepOptions options = api::sweep_options_from_env();
+  options.sweep_name = "random_network";
+  api::SweepRunner runner(options);
+  const auto report = runner.run_outcomes(points);
 
   std::printf("%-11s %10s %11s %10s\n", "scheme", "Mbps", "delay ms",
               "fairness");
   for (std::size_t i = 0; i < points.size(); ++i) {
-    const auto& r = results[i];
+    const auto& o = report.outcomes[i];
+    if (!o.ok()) {
+      std::printf("%-11s %10s (%s%s%s)\n", points[i].label.c_str(), "-",
+                  api::to_string(o.status),
+                  o.error_message.empty() ? "" : ": ",
+                  o.error_message.c_str());
+      continue;
+    }
+    const auto& r = o.result;
     std::printf("%-11s %10.2f %11.2f %10.3f\n", points[i].label.c_str(),
                 r.throughput_mbps(), r.mean_delay_us / 1000.0,
                 r.jain_fairness);
   }
-  return 0;
+  return report.all_ok() ? 0 : 1;
 }

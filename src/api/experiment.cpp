@@ -63,6 +63,10 @@ struct Experiment::Impl {
   // results byte-identical to builds without the fault subsystem.
   std::unique_ptr<fault::FaultInjector> injector;
 
+  // Run guard (sweep watchdogs): armed before run() via set_run_guard.
+  const std::atomic<bool>* cancel = nullptr;
+  std::uint64_t max_events = 0;
+
   Impl(const topo::Topology& t, ExperimentConfig c)
       : topo(t), cfg(std::move(c)), root(cfg.seed), sim(), medium(sim, topo) {}
 
@@ -218,7 +222,12 @@ struct Experiment::Impl {
     build_traffic();
     if (injector) injector->arm_medium(medium, cfg.duration);
 
+    sim.set_interrupt_flag(cancel);
+    sim.set_event_budget(max_events);
     sim.run_until(cfg.duration);
+    if (sim.interrupted()) {
+      throw ExperimentInterrupted(sim.now(), sim.events_executed());
+    }
 
     ExperimentResult result;
     result.census = topo::classify_pairs(topo, links);
@@ -253,11 +262,25 @@ struct Experiment::Impl {
   }
 };
 
+ExperimentInterrupted::ExperimentInterrupted(TimeNs sim_time,
+                                             std::uint64_t events)
+    : std::runtime_error("experiment interrupted at " +
+                         std::to_string(sim_time) + " ns after " +
+                         std::to_string(events) + " events"),
+      sim_time_ns(sim_time),
+      events_executed(events) {}
+
 Experiment::Experiment(const topo::Topology& topology,
                        ExperimentConfig config)
     : impl_(std::make_unique<Impl>(topology, std::move(config))) {}
 
 Experiment::~Experiment() = default;
+
+void Experiment::set_run_guard(const std::atomic<bool>* cancel,
+                               std::uint64_t max_events) {
+  impl_->cancel = cancel;
+  impl_->max_events = max_events;
+}
 
 ExperimentResult Experiment::run() { return impl_->run(); }
 

@@ -9,7 +9,9 @@
 //   cfg.traffic.downlink_bps = 10e6;
 //   api::ExperimentResult r = api::Experiment(topology, cfg).run();
 
+#include <atomic>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "api/metrics.h"
@@ -86,6 +88,19 @@ struct ExperimentConfig {
   }
 };
 
+/// Thrown out of Experiment::run() when an armed run guard (see
+/// Experiment::set_run_guard) stopped the simulation before the configured
+/// duration — the cooperative cancellation path the sweep watchdogs use.
+/// Carries the last-known progress at the safe event boundary where the
+/// simulation was terminated.
+class ExperimentInterrupted : public std::runtime_error {
+ public:
+  ExperimentInterrupted(TimeNs sim_time, std::uint64_t events);
+
+  TimeNs sim_time_ns = 0;
+  std::uint64_t events_executed = 0;
+};
+
 class Experiment {
  public:
   Experiment(const topo::Topology& topology, ExperimentConfig config);
@@ -93,6 +108,14 @@ class Experiment {
 
   Experiment(const Experiment&) = delete;
   Experiment& operator=(const Experiment&) = delete;
+
+  /// Arms cooperative cancellation for the upcoming run(): the simulator
+  /// polls `cancel` (may be set from another thread; never written here)
+  /// between events, and `max_events` caps the executed event count
+  /// (0 = unlimited). When either fires, run() throws
+  /// ExperimentInterrupted instead of returning metrics. Call before run().
+  void set_run_guard(const std::atomic<bool>* cancel,
+                     std::uint64_t max_events);
 
   ExperimentResult run();
 

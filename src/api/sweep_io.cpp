@@ -1,0 +1,810 @@
+#include "api/sweep_io.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#ifndef _WIN32
+#include <unistd.h>
+#endif
+
+namespace dmn::api {
+
+// ---- JSON writing ----------------------------------------------------------
+
+std::string json_quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out += '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+std::string json_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+namespace {
+
+std::string json_u64(std::uint64_t v) { return std::to_string(v); }
+std::string json_i64(std::int64_t v) { return std::to_string(v); }
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016llx",
+                static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::uint64_t parse_hex_u64(const std::string& s) {
+  return std::strtoull(s.c_str(), nullptr, 16);
+}
+
+}  // namespace
+
+// ---- JSON parsing ----------------------------------------------------------
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::num_or(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->type == Type::kNumber ? v->number : fallback;
+}
+
+std::uint64_t JsonValue::u64_or(const std::string& key,
+                                std::uint64_t fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->type != Type::kNumber) return fallback;
+  return std::strtoull(v->text.c_str(), nullptr, 10);
+}
+
+std::int64_t JsonValue::i64_or(const std::string& key,
+                               std::int64_t fallback) const {
+  const JsonValue* v = find(key);
+  if (v == nullptr || v->type != Type::kNumber) return fallback;
+  return std::strtoll(v->text.c_str(), nullptr, 10);
+}
+
+std::string JsonValue::str_or(const std::string& key,
+                              const std::string& fb) const {
+  const JsonValue* v = find(key);
+  return v != nullptr && v->type == Type::kString ? v->text : fb;
+}
+
+namespace {
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const char* what) {
+    throw std::runtime_error("json parse error at offset " +
+                             std::to_string(pos_) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail("unexpected character");
+    ++pos_;
+  }
+
+  bool consume_literal(std::string_view lit) {
+    if (text_.substr(pos_, lit.size()) == lit) {
+      pos_ += lit.size();
+      return true;
+    }
+    return false;
+  }
+
+  JsonValue parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{': return parse_object();
+      case '[': return parse_array();
+      case '"': return parse_string();
+      case 't':
+      case 'f': return parse_bool();
+      case 'n':
+        if (consume_literal("nan")) return make_number("nan");
+        if (consume_literal("null")) return JsonValue{};
+        fail("bad literal");
+      default: return parse_number();
+    }
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.type = JsonValue::Type::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      JsonValue key = parse_string();
+      skip_ws();
+      expect(':');
+      v.object.emplace_back(std::move(key.text), parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.type = JsonValue::Type::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.array.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JsonValue parse_string() {
+    JsonValue v;
+    v.type = JsonValue::Type::kString;
+    expect('"');
+    for (;;) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.text += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"': v.text += '"'; break;
+        case '\\': v.text += '\\'; break;
+        case '/': v.text += '/'; break;
+        case 'n': v.text += '\n'; break;
+        case 'r': v.text += '\r'; break;
+        case 't': v.text += '\t'; break;
+        case 'b': v.text += '\b'; break;
+        case 'f': v.text += '\f'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) fail("bad \\u escape");
+          const std::string hex(text_.substr(pos_, 4));
+          pos_ += 4;
+          const long cp = std::strtol(hex.c_str(), nullptr, 16);
+          // Checkpoint strings only ever contain control characters via
+          // \u00xx (see json_quote); anything wider is not produced.
+          v.text += static_cast<char>(cp & 0xff);
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.type = JsonValue::Type::kBool;
+    if (consume_literal("true")) {
+      v.boolean = true;
+      return v;
+    }
+    if (consume_literal("false")) return v;
+    fail("bad literal");
+  }
+
+  JsonValue make_number(std::string text) {
+    JsonValue v;
+    v.type = JsonValue::Type::kNumber;
+    v.number = std::strtod(text.c_str(), nullptr);
+    v.text = std::move(text);
+    return v;
+  }
+
+  JsonValue parse_number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    // Non-standard tokens %.17g can emit.
+    if (consume_literal("inf")) {
+      return make_number(std::string(text_.substr(start, pos_ - start)));
+    }
+    if (consume_literal("nan")) {
+      return make_number(std::string(text_.substr(start, pos_ - start)));
+    }
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if ((c >= '0' && c <= '9') || c == '.' || c == 'e' || c == 'E' ||
+          c == '+' || c == '-') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("expected number");
+    return make_number(std::string(text_.substr(start, pos_ - start)));
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+JsonValue parse_json(std::string_view text) {
+  return JsonParser(text).parse_document();
+}
+
+// ---- result serialization --------------------------------------------------
+
+namespace {
+
+/// Streaming writer for fixed-order JSON objects.
+class ObjWriter {
+ public:
+  void num(const char* k, double v) { field(k, json_double(v)); }
+  void u64(const char* k, std::uint64_t v) { field(k, json_u64(v)); }
+  void i64(const char* k, std::int64_t v) { field(k, json_i64(v)); }
+  void boolean(const char* k, bool v) { field(k, v ? "true" : "false"); }
+  void str(const char* k, const std::string& v) { field(k, json_quote(v)); }
+  void raw(const char* k, const std::string& v) { field(k, v); }
+
+  std::string close() { return out_ + "}"; }
+
+ private:
+  void field(const char* k, const std::string& v) {
+    out_ += first_ ? "{" : ",";
+    first_ = false;
+    out_ += json_quote(k);
+    out_ += ":";
+    out_ += v;
+  }
+  std::string out_;
+  bool first_ = true;
+};
+
+std::string serialize_link(const LinkResult& l) {
+  ObjWriter w;
+  w.i64("flow_id", l.flow.id);
+  w.i64("src", l.flow.src);
+  w.i64("dst", l.flow.dst);
+  w.boolean("uplink", l.uplink);
+  w.num("throughput_bps", l.throughput_bps);
+  w.num("mean_delay_us", l.mean_delay_us);
+  w.u64("delivered", l.delivered);
+  return w.close();
+}
+
+LinkResult deserialize_link(const JsonValue& v) {
+  LinkResult l;
+  l.flow.id = static_cast<traffic::FlowId>(v.i64_or("flow_id", -1));
+  l.flow.src = static_cast<topo::NodeId>(v.i64_or("src", -1));
+  l.flow.dst = static_cast<topo::NodeId>(v.i64_or("dst", -1));
+  const JsonValue* up = v.find("uplink");
+  l.uplink = up != nullptr && up->boolean;
+  l.throughput_bps = v.num_or("throughput_bps", 0.0);
+  l.mean_delay_us = v.num_or("mean_delay_us", 0.0);
+  l.delivered = v.u64_or("delivered", 0);
+  return l;
+}
+
+std::string serialize_ap_health(const ApChainHealth& h) {
+  ObjWriter w;
+  w.i64("ap", h.ap);
+  w.u64("self_starts", h.self_starts);
+  w.u64("missed_rows", h.missed_rows);
+  w.u64("ack_timeouts", h.ack_timeouts);
+  w.u64("retry_drops", h.retry_drops);
+  w.u64("anchor_rejections", h.anchor_rejections);
+  w.u64("forced_trigger_losses", h.forced_trigger_losses);
+  w.u64("recovery_samples", h.recovery_samples);
+  return w.close();
+}
+
+ApChainHealth deserialize_ap_health(const JsonValue& v) {
+  ApChainHealth h;
+  h.ap = static_cast<topo::NodeId>(v.i64_or("ap", -1));
+  h.self_starts = v.u64_or("self_starts", 0);
+  h.missed_rows = v.u64_or("missed_rows", 0);
+  h.ack_timeouts = v.u64_or("ack_timeouts", 0);
+  h.retry_drops = v.u64_or("retry_drops", 0);
+  h.anchor_rejections = v.u64_or("anchor_rejections", 0);
+  h.forced_trigger_losses = v.u64_or("forced_trigger_losses", 0);
+  h.recovery_samples = v.u64_or("recovery_samples", 0);
+  return h;
+}
+
+template <typename T, typename Fn>
+std::string serialize_array(const std::vector<T>& xs, Fn fn) {
+  std::string out = "[";
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    if (i != 0) out += ",";
+    out += fn(xs[i]);
+  }
+  return out + "]";
+}
+
+}  // namespace
+
+std::string serialize_result(const ExperimentResult& r) {
+  ObjWriter w;
+  w.raw("links", serialize_array(r.links, serialize_link));
+  w.num("aggregate_throughput_bps", r.aggregate_throughput_bps);
+  w.num("jain_fairness", r.jain_fairness);
+  w.num("mean_delay_us", r.mean_delay_us);
+  w.u64("ack_timeouts", r.ack_timeouts);
+  w.u64("mac_drops", r.mac_drops);
+  w.u64("census_hidden", r.census.hidden);
+  w.u64("census_exposed", r.census.exposed);
+  w.u64("census_total", r.census.total);
+  w.u64("domino_self_starts", r.domino_self_starts);
+  w.u64("domino_missed_rows", r.domino_missed_rows);
+  w.u64("domino_rows_executed", r.domino_rows_executed);
+  w.u64("domino_untriggerable", r.domino_untriggerable);
+  w.u64("domino_batches", r.domino_batches);
+  w.u64("domino_retry_drops", r.domino_retry_drops);
+  w.u64("domino_anchor_rejections", r.domino_anchor_rejections);
+  w.u64("domino_forced_trigger_losses", r.domino_forced_trigger_losses);
+  w.u64("domino_controller_outage_skips", r.domino_controller_outage_skips);
+  w.raw("recovery_slots",
+        serialize_array(r.domino_recovery_latency_slots,
+                        [](double s) { return json_double(s); }));
+  w.raw("ap_health", serialize_array(r.ap_chain_health, serialize_ap_health));
+  w.u64("fault_backbone_drops", r.fault_backbone_drops);
+  w.u64("fault_backbone_dups", r.fault_backbone_dups);
+  w.u64("fault_backbone_spikes", r.fault_backbone_spikes);
+  w.u64("fault_interference_bursts", r.fault_interference_bursts);
+  w.u64("fault_controller_outage_skips", r.fault_controller_outage_skips);
+  w.u64("fault_forced_trigger_losses", r.fault_forced_trigger_losses);
+  w.u64("fault_forced_false_positives", r.fault_forced_false_positives);
+  return w.close();
+}
+
+ExperimentResult deserialize_result(const JsonValue& v) {
+  ExperimentResult r;
+  if (const JsonValue* links = v.find("links")) {
+    for (const JsonValue& l : links->array) {
+      r.links.push_back(deserialize_link(l));
+    }
+  }
+  r.aggregate_throughput_bps = v.num_or("aggregate_throughput_bps", 0.0);
+  r.jain_fairness = v.num_or("jain_fairness", 1.0);
+  r.mean_delay_us = v.num_or("mean_delay_us", 0.0);
+  r.ack_timeouts = v.u64_or("ack_timeouts", 0);
+  r.mac_drops = v.u64_or("mac_drops", 0);
+  r.census.hidden = v.u64_or("census_hidden", 0);
+  r.census.exposed = v.u64_or("census_exposed", 0);
+  r.census.total = v.u64_or("census_total", 0);
+  r.domino_self_starts = v.u64_or("domino_self_starts", 0);
+  r.domino_missed_rows = v.u64_or("domino_missed_rows", 0);
+  r.domino_rows_executed = v.u64_or("domino_rows_executed", 0);
+  r.domino_untriggerable = v.u64_or("domino_untriggerable", 0);
+  r.domino_batches = v.u64_or("domino_batches", 0);
+  r.domino_retry_drops = v.u64_or("domino_retry_drops", 0);
+  r.domino_anchor_rejections = v.u64_or("domino_anchor_rejections", 0);
+  r.domino_forced_trigger_losses =
+      v.u64_or("domino_forced_trigger_losses", 0);
+  r.domino_controller_outage_skips =
+      v.u64_or("domino_controller_outage_skips", 0);
+  if (const JsonValue* slots = v.find("recovery_slots")) {
+    for (const JsonValue& s : slots->array) {
+      r.domino_recovery_latency_slots.push_back(s.number);
+    }
+  }
+  if (const JsonValue* hp = v.find("ap_health")) {
+    for (const JsonValue& h : hp->array) {
+      r.ap_chain_health.push_back(deserialize_ap_health(h));
+    }
+  }
+  r.fault_backbone_drops = v.u64_or("fault_backbone_drops", 0);
+  r.fault_backbone_dups = v.u64_or("fault_backbone_dups", 0);
+  r.fault_backbone_spikes = v.u64_or("fault_backbone_spikes", 0);
+  r.fault_interference_bursts = v.u64_or("fault_interference_bursts", 0);
+  r.fault_controller_outage_skips =
+      v.u64_or("fault_controller_outage_skips", 0);
+  r.fault_forced_trigger_losses = v.u64_or("fault_forced_trigger_losses", 0);
+  r.fault_forced_false_positives =
+      v.u64_or("fault_forced_false_positives", 0);
+  return r;
+}
+
+std::string serialize_outcome(const PointOutcome& o) {
+  ObjWriter w;
+  w.str("status", to_string(o.status));
+  w.str("error_type", o.error_type);
+  w.str("error_message", o.error_message);
+  w.i64("sim_time_ns", o.sim_time_ns);
+  w.u64("events_executed", o.events_executed);
+  w.raw("result", serialize_result(o.result));
+  return w.close();
+}
+
+PointOutcome deserialize_outcome(const JsonValue& v) {
+  PointOutcome o;
+  const std::string status = v.str_or("status", "skipped");
+  if (status == "ok") {
+    o.status = PointStatus::kOk;
+  } else if (status == "error") {
+    o.status = PointStatus::kError;
+  } else if (status == "timed_out") {
+    o.status = PointStatus::kTimedOut;
+  } else {
+    o.status = PointStatus::kSkipped;
+  }
+  o.error_type = v.str_or("error_type", "");
+  o.error_message = v.str_or("error_message", "");
+  o.sim_time_ns = v.i64_or("sim_time_ns", 0);
+  o.events_executed = v.u64_or("events_executed", 0);
+  if (const JsonValue* r = v.find("result")) {
+    o.result = deserialize_result(*r);
+  }
+  return o;
+}
+
+std::string serialize_report(const SweepReport& report) {
+  std::string out;
+  for (const PointOutcome& o : report.outcomes) {
+    out += serialize_outcome(o);
+    out += '\n';
+  }
+  return out;
+}
+
+// ---- hashing ---------------------------------------------------------------
+
+namespace {
+
+/// FNV-1a 64 over a canonical byte stream. Every field is fed through a
+/// typed method, so struct padding and in-memory layout never leak into the
+/// hash.
+class Hasher {
+ public:
+  void bytes(const void* p, std::size_t n) {
+    const auto* b = static_cast<const unsigned char*>(p);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= b[i];
+      h_ *= 1099511628211ull;
+    }
+  }
+  void u64(std::uint64_t v) { bytes(&v, sizeof(v)); }
+  void i64(std::int64_t v) { bytes(&v, sizeof(v)); }
+  void num(double v) {
+    if (v == 0.0) v = 0.0;  // collapse -0.0 and +0.0
+    bytes(&v, sizeof(v));
+  }
+  void boolean(bool v) { u64(v ? 1 : 0); }
+  void str(const std::string& s) {
+    u64(s.size());
+    bytes(s.data(), s.size());
+  }
+  void window(const fault::TimeWindow& w) {
+    i64(w.start);
+    i64(w.duration);
+  }
+
+  std::uint64_t value() const { return h_; }
+
+ private:
+  std::uint64_t h_ = 1469598103934665603ull;
+};
+
+void hash_topology(Hasher& h, const topo::Topology& t) {
+  h.u64(t.num_nodes());
+  for (const topo::Node& n : t.nodes()) {
+    h.i64(n.id);
+    h.boolean(n.is_ap);
+    h.i64(n.ap);
+    h.num(n.pos.x);
+    h.num(n.pos.y);
+  }
+  const topo::PhyThresholds& th = t.thresholds();
+  h.num(th.noise_floor_dbm);
+  h.num(th.cs_threshold_dbm);
+  h.num(th.sinr_data_db);
+  h.num(th.sinr_control_db);
+  h.num(th.min_rss_dbm);
+  h.num(th.assoc_rss_dbm);
+  const std::size_t n = t.num_nodes();
+  for (std::size_t a = 0; a < n; ++a) {
+    for (std::size_t b = 0; b < n; ++b) {
+      h.num(t.rss(static_cast<topo::NodeId>(a),
+                  static_cast<topo::NodeId>(b)));
+    }
+  }
+}
+
+void hash_config(Hasher& h, const ExperimentConfig& c) {
+  h.str(c.effective_scheme_name());
+  h.u64(static_cast<std::uint64_t>(c.traffic.kind));
+  h.num(c.traffic.downlink_bps);
+  h.num(c.traffic.uplink_bps);
+  h.boolean(c.traffic.saturate_downlink);
+  h.boolean(c.traffic.saturate_uplink);
+  h.u64(c.traffic.packet_bytes);
+  h.u64(c.traffic.custom.size());
+  for (const FlowSpec& f : c.traffic.custom) {
+    h.i64(f.src);
+    h.i64(f.dst);
+    h.num(f.rate_bps);
+    h.boolean(f.saturate);
+  }
+  h.i64(c.duration);
+  h.u64(c.seed);
+
+  h.i64(c.wifi.slot_time);
+  h.i64(c.wifi.sifs);
+  h.i64(c.wifi.cw_min);
+  h.i64(c.wifi.cw_max);
+  h.i64(c.wifi.retry_limit);
+  h.num(c.wifi.data_rate_bps);
+  h.num(c.wifi.control_rate_bps);
+  h.u64(c.wifi.mac_header_bytes);
+  h.u64(c.wifi.ack_bytes);
+  h.u64(c.wifi.queue_capacity);
+
+  h.i64(c.backbone.mean_latency);
+  h.i64(c.backbone.sigma_latency);
+  h.i64(c.backbone.min_latency);
+
+  h.u64(c.domino.batch_slots);
+  h.u64(c.domino.batches_per_poll);
+  h.u64(c.domino.payload_bytes);
+
+  h.i64(c.converter.max_inbound);
+  h.i64(c.converter.max_outbound);
+  h.num(c.converter.trigger_rss_floor_dbm);
+  h.boolean(c.converter.insert_fake_links);
+
+  h.u64(c.centaur.quota);
+  h.i64(c.centaur.fixed_backoff_slots);
+  h.i64(c.centaur.idle_recheck);
+
+  for (const double p : c.sig_model.p_by_count) h.num(p);
+  h.num(c.sig_model.beyond_decay);
+  h.num(c.sig_model.full_sinr_db);
+  h.num(c.sig_model.zero_sinr_db);
+  h.num(c.sig_model.false_positive_rate);
+
+  h.u64(c.rop.fft_size);
+  h.u64(c.rop.data_per_subchannel);
+  h.u64(c.rop.guard_per_subchannel);
+  h.u64(c.rop.num_subchannels);
+  h.num(c.rop.bandwidth_hz);
+  h.u64(c.rop.cp_samples);
+
+  h.num(c.tcp.app_rate_bps);
+  h.u64(c.tcp.mss_bytes);
+  h.u64(c.tcp.ack_bytes);
+  h.num(c.tcp.initial_cwnd);
+  h.num(c.tcp.initial_ssthresh);
+  h.num(c.tcp.max_cwnd);
+  h.i64(c.tcp.min_rto);
+  h.i64(c.tcp.max_rto);
+
+  const fault::FaultPlan& f = c.faults;
+  h.num(f.backbone.drop_rate);
+  h.num(f.backbone.dup_rate);
+  h.num(f.backbone.spike_rate);
+  h.i64(f.backbone.spike_extra);
+  h.u64(f.controller.outages.size());
+  for (const fault::TimeWindow& w : f.controller.outages) h.window(w);
+  h.num(f.interference.duty);
+  h.i64(f.interference.period);
+  h.num(f.interference.power_dbm);
+  h.num(f.signature.false_negative_rate);
+  h.num(f.signature.false_positive_rate);
+  h.u64(f.signature.blackouts.size());
+  for (const auto& b : f.signature.blackouts) {
+    h.i64(b.node);
+    h.window(b.window);
+  }
+  h.num(f.clock.max_skew_ppm);
+  h.u64(f.ap_outages.size());
+  for (const fault::ApOutage& o : f.ap_outages) {
+    h.i64(o.ap);
+    h.window(o.window);
+  }
+
+  h.boolean(c.record_timeline);
+}
+
+}  // namespace
+
+std::uint64_t hash_point(const SweepPoint& p) {
+  Hasher h;
+  hash_topology(h, p.topology);
+  hash_config(h, p.config);
+  return h.value();
+}
+
+std::uint64_t hash_sweep(const std::vector<SweepPoint>& points) {
+  Hasher h;
+  h.u64(points.size());
+  for (const SweepPoint& p : points) h.u64(hash_point(p));
+  return h.value();
+}
+
+std::string runner_fingerprint() {
+#if defined(__VERSION__)
+  return std::string("dmn-sweep-v1 ") + __VERSION__;
+#else
+  return "dmn-sweep-v1 unknown-compiler";
+#endif
+}
+
+// ---- checkpoint file -------------------------------------------------------
+
+std::string serialize_manifest(const CheckpointManifest& m) {
+  ObjWriter w;
+  w.str("type", "manifest");
+  w.str("sweep_hash", hex_u64(m.sweep_hash));
+  w.u64("num_points", m.num_points);
+  w.str("fingerprint", m.fingerprint);
+  w.str("sweep_name", m.sweep_name);
+  return w.close();
+}
+
+std::string serialize_record(const CheckpointRecord& r) {
+  ObjWriter w;
+  w.str("type", "point");
+  w.u64("index", r.index);
+  w.str("point_hash", hex_u64(r.point_hash));
+  w.raw("outcome", serialize_outcome(r.outcome));
+  return w.close();
+}
+
+LoadedCheckpoint load_checkpoint(const std::string& path,
+                                 const CheckpointManifest& expected) {
+  LoadedCheckpoint out;
+  std::ifstream in(path);
+  if (!in) return out;  // no checkpoint yet: fresh run
+
+  std::string line;
+  bool saw_manifest = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    JsonValue v;
+    try {
+      v = parse_json(line);
+    } catch (const std::exception&) {
+      // A torn trailing line cannot happen with write-then-rename, but a
+      // hand-edited or truncated file should still resume from its valid
+      // prefix rather than abort the sweep.
+      std::fprintf(stderr,
+                   "sweep checkpoint %s: ignoring unreadable line\n",
+                   path.c_str());
+      break;
+    }
+    const std::string type = v.str_or("type", "");
+    if (!saw_manifest) {
+      if (type != "manifest") {
+        std::fprintf(stderr,
+                     "sweep checkpoint %s: missing manifest, starting "
+                     "fresh\n",
+                     path.c_str());
+        return out;
+      }
+      saw_manifest = true;
+      out.found = true;
+      out.manifest.sweep_hash = parse_hex_u64(v.str_or("sweep_hash", "0"));
+      out.manifest.num_points =
+          static_cast<std::size_t>(v.u64_or("num_points", 0));
+      out.manifest.fingerprint = v.str_or("fingerprint", "");
+      out.manifest.sweep_name = v.str_or("sweep_name", "");
+      if (out.manifest.sweep_hash != expected.sweep_hash ||
+          out.manifest.num_points != expected.num_points ||
+          out.manifest.fingerprint != expected.fingerprint) {
+        std::fprintf(stderr,
+                     "sweep checkpoint %s: manifest does not match this "
+                     "sweep (different definition, point count or build); "
+                     "recomputing all points\n",
+                     path.c_str());
+        return out;  // found, not compatible
+      }
+      out.compatible = true;
+      continue;
+    }
+    if (type != "point") continue;
+    CheckpointRecord rec;
+    rec.index = static_cast<std::size_t>(v.u64_or("index", 0));
+    rec.point_hash = parse_hex_u64(v.str_or("point_hash", "0"));
+    if (const JsonValue* o = v.find("outcome")) {
+      rec.outcome = deserialize_outcome(*o);
+    }
+    if (rec.index >= expected.num_points) continue;
+    out.records[rec.index] = std::move(rec);
+  }
+  return out;
+}
+
+void atomic_write_file(const std::string& path,
+                       const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "w");
+  if (f == nullptr) {
+    throw std::runtime_error("sweep checkpoint: cannot open " + tmp + ": " +
+                             std::strerror(errno));
+  }
+  const std::size_t written =
+      std::fwrite(contents.data(), 1, contents.size(), f);
+  bool ok = written == contents.size() && std::fflush(f) == 0;
+#ifndef _WIN32
+  ok = ok && fsync(fileno(f)) == 0;
+#endif
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("sweep checkpoint: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("sweep checkpoint: cannot rename " + tmp +
+                             " to " + path + ": " + std::strerror(errno));
+  }
+}
+
+}  // namespace dmn::api

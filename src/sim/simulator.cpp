@@ -24,7 +24,20 @@ void Simulator::cancel(EventHandle& h) {
 
 void Simulator::run_until(TimeNs until) {
   stopped_ = false;
+  interrupted_ = false;
   while (!heap_.empty() && !stopped_) {
+    // Watchdog checks between events: a budget overrun or an externally-set
+    // interrupt flag stops the loop at a safe event boundary, leaving now()
+    // and events_executed() as the last-known progress.
+    if (event_budget_ != 0 && executed_ >= event_budget_) {
+      interrupted_ = true;
+      break;
+    }
+    if (interrupt_ != nullptr &&
+        interrupt_->load(std::memory_order_relaxed)) {
+      interrupted_ = true;
+      break;
+    }
     if (heap_.front().at > until) break;
     Entry entry = pop_entry();
     if (entry.state != nullptr && entry.state->cancelled) continue;

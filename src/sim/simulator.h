@@ -15,6 +15,7 @@
 //    schedule_in() allocate the shared EventHandle state the caller keeps.
 
 #include <algorithm>
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <memory>
@@ -169,6 +170,27 @@ class Simulator {
   /// Request the run loop to stop after the current event.
   void stop() { stopped_ = true; }
 
+  /// Arms cooperative external interruption (the sweep watchdog hook).
+  /// When `flag` is non-null the run loop polls it between events and stops
+  /// at the next event boundary once it reads true. The flag may be set
+  /// from another thread (e.g. the SweepRunner monitor); the simulator only
+  /// ever reads it. Pass nullptr to disarm.
+  void set_interrupt_flag(const std::atomic<bool>* flag) {
+    interrupt_ = flag;
+  }
+
+  /// Caps the total number of executed events; once `events_executed()`
+  /// reaches the budget the run loop stops at the event boundary and
+  /// reports interrupted(). 0 disables the budget.
+  void set_event_budget(std::uint64_t max_events) {
+    event_budget_ = max_events;
+  }
+
+  /// True when the last run_until()/run() stopped early because of the
+  /// interrupt flag or the event budget (not because the queue drained,
+  /// the horizon was reached, or stop() was called).
+  bool interrupted() const { return interrupted_; }
+
   /// Number of events executed so far (for tests / sanity checks).
   std::uint64_t events_executed() const { return executed_; }
 
@@ -204,6 +226,9 @@ class Simulator {
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
   bool stopped_ = false;
+  bool interrupted_ = false;
+  const std::atomic<bool>* interrupt_ = nullptr;
+  std::uint64_t event_budget_ = 0;
 };
 
 }  // namespace dmn::sim

@@ -1,27 +1,86 @@
 #include "topo/topology.h"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
+#include <string>
 #include <tuple>
 
 namespace dmn::topo {
 
+namespace {
+
+/// Dense-matrix memory guard: the RSS fast path bakes an n x n double
+/// matrix, so an absurd node count from a bad trace would silently try to
+/// allocate gigabytes. 8192 nodes ~= 0.5 GB, far beyond any evaluated
+/// scenario.
+constexpr std::size_t kMaxNodes = 8192;
+
+}  // namespace
+
 Topology::Topology(std::vector<Node> nodes, RssMap rss,
                    PhyThresholds thresholds)
     : nodes_(std::move(nodes)), rss_(std::move(rss)), thresholds_(thresholds) {
+  // Ingestion validation: every topology — trace-derived, random or
+  // hand-built — passes through here, so this is the chokepoint where bad
+  // RSS traces and malformed node tables are rejected by name instead of
+  // silently propagating garbage into the linear-power matrix.
+  if (nodes_.empty()) {
+    throw std::invalid_argument("Topology: node list is empty");
+  }
+  if (nodes_.size() > kMaxNodes) {
+    throw std::invalid_argument(
+        "Topology: node count " + std::to_string(nodes_.size()) +
+        " exceeds the supported maximum of " + std::to_string(kMaxNodes));
+  }
   if (rss_.size() != nodes_.size()) {
     throw std::invalid_argument("Topology: RSS map size != node count");
   }
+  const std::size_t n = nodes_.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const Node& node = nodes_[i];
+    if (node.id != static_cast<NodeId>(i)) {
+      throw std::invalid_argument(
+          "Topology: node at index " + std::to_string(i) + " has id " +
+          std::to_string(node.id) +
+          " (ids must be unique and equal to their index)");
+    }
+    if (!node.is_ap && node.ap != kNoNode) {
+      if (node.ap < 0 || static_cast<std::size_t>(node.ap) >= n) {
+        throw std::invalid_argument(
+            "Topology: client " + std::to_string(node.id) +
+            " is associated to nonexistent AP " + std::to_string(node.ap));
+      }
+      if (!nodes_[static_cast<std::size_t>(node.ap)].is_ap) {
+        throw std::invalid_argument(
+            "Topology: client " + std::to_string(node.id) +
+            " is associated to node " + std::to_string(node.ap) +
+            ", which is not an AP");
+      }
+    }
+  }
+
   // Bake the PHY fast-path tables: the linear-power matrix (one pow() per
   // pair here instead of one per interference term at runtime) and the
   // per-source audible-neighbor lists that bound frame delivery fan-out.
-  const std::size_t n = nodes_.size();
   rss_mw_.resize(n * n);
   audible_.resize(n);
   for (std::size_t a = 0; a < n; ++a) {
     for (std::size_t b = 0; b < n; ++b) {
       const double dbm = rss_.rss(static_cast<NodeId>(a),
                                   static_cast<NodeId>(b));
+      // Off-diagonal entries must be real attenuations: NaN poisons every
+      // downstream SINR sum, and a positive-dBm "received" power is
+      // stronger than any transmitter in this model — both are trace
+      // corruption, not physics. (-inf marks "no path" and is fine; the
+      // diagonal is -inf by construction.)
+      if (a != b && (std::isnan(dbm) || dbm > 0.0)) {
+        throw std::invalid_argument(
+            "Topology: RSS(" + std::to_string(a) + ", " + std::to_string(b) +
+            ") = " + std::to_string(dbm) +
+            " dBm is invalid (expected a finite value <= 0 dBm, or -inf "
+            "for no path)");
+      }
       rss_mw_[a * n + b] = dbm_to_mw(dbm);
       if (a != b && dbm >= thresholds_.min_rss_dbm) {
         audible_[a].push_back(static_cast<NodeId>(b));
@@ -85,6 +144,11 @@ std::vector<Link> Topology::make_links(bool downlink, bool uplink) const {
 Topology Topology::build_tmn(const RssMap& trace, std::size_t m,
                              std::size_t n, const PhyThresholds& thresholds,
                              Rng& rng) {
+  if (m == 0 || n == 0) {
+    throw std::invalid_argument(
+        "build_tmn: T(m, n) requires m >= 1 APs and n >= 1 clients (got m=" +
+        std::to_string(m) + ", n=" + std::to_string(n) + ")");
+  }
   const std::size_t total = trace.size();
 
   // Degree in the communication graph (paper: "number of nodes in their
@@ -172,6 +236,14 @@ Topology Topology::build_tmn(const RssMap& trace, std::size_t m,
 Topology Topology::random_network(std::size_t m, std::size_t n, double side,
                                   const LogDistanceModel& model,
                                   const PhyThresholds& thresholds, Rng& rng) {
+  if (m == 0) {
+    throw std::invalid_argument("random_network: need at least one AP");
+  }
+  if (!(side > 0.0) || !std::isfinite(side)) {
+    throw std::invalid_argument(
+        "random_network: area side must be a positive finite length (got " +
+        std::to_string(side) + ")");
+  }
   // Maximum AP-client distance that still satisfies the association RSS.
   // rss = tx - ref - 10*e*log10(d) >= assoc  =>  d <= 10^((tx-ref-assoc)/(10e))
   const double max_d = std::pow(
@@ -241,6 +313,15 @@ Topology ManualTopologyBuilder::build(const PhyThresholds& thresholds) const {
     }
   }
   for (const auto& [a, b, dbm] : edges_) {
+    // set_rss on an out-of-range id would index past the dense matrix, so
+    // reject the edge here with both endpoints named.
+    if (a < 0 || b < 0 || static_cast<std::size_t>(a) >= nodes_.size() ||
+        static_cast<std::size_t>(b) >= nodes_.size() || a == b) {
+      throw std::invalid_argument(
+          "ManualTopologyBuilder: edge (" + std::to_string(a) + ", " +
+          std::to_string(b) + ") references an invalid node id (topology has " +
+          std::to_string(nodes_.size()) + " nodes)");
+    }
     rss.set_rss(a, b, dbm);
   }
   return Topology(nodes_, std::move(rss), thresholds);

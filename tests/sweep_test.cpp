@@ -180,13 +180,24 @@ TEST(SweepRunner, ProgressCallbackCoversAllPoints) {
   EXPECT_EQ(runner.stats().points, 6u);
 }
 
+// The strict API runs every point (no worker can die mid-pool) and then
+// reports the first failure as a typed SweepError naming the point.
 TEST(SweepRunner, PointFailureRethrownOnCaller) {
   ExperimentConfig cfg = base_config();
   cfg.duration = msec(50);
   auto points = seed_sweep(two_cells(), cfg, 1, 4);
   points[2].config.scheme_name = "NO-SUCH-SCHEME";
   SweepRunner runner({2, nullptr});
-  EXPECT_THROW(runner.run(points), std::out_of_range);
+  try {
+    runner.run(points);
+    FAIL() << "expected SweepError";
+  } catch (const SweepError& e) {
+    EXPECT_EQ(e.point_index, 2u);
+    EXPECT_EQ(e.status, PointStatus::kError);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("point 2"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("NO-SUCH-SCHEME"), std::string::npos) << msg;
+  }
 }
 
 }  // namespace

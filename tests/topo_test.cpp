@@ -3,6 +3,10 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+#include <string>
+#include <vector>
+
 #include "topo/conflict_graph.h"
 #include "topo/node.h"
 #include "topo/propagation.h"
@@ -278,6 +282,112 @@ INSTANTIATE_TEST_SUITE_P(Shapes, TmnSweep,
                          ::testing::Values(std::pair{4, 2}, std::pair{6, 5},
                                            std::pair{10, 2},
                                            std::pair{12, 1}));
+
+// ---- ingestion validation --------------------------------------------------
+// The Topology constructor is the chokepoint every topology source passes
+// through; corrupt RSS traces and malformed node tables must be rejected
+// there with the offending entry named.
+
+TEST(TopologyValidation, RejectsEmptyNodeList) {
+  EXPECT_THROW(Topology({}, RssMap(0), {}), std::invalid_argument);
+}
+
+TEST(TopologyValidation, RejectsDuplicateOrMisnumberedIds) {
+  std::vector<Node> nodes{Node{0, {}, true, kNoNode},
+                          Node{0, {}, false, 0}};  // duplicate id 0
+  try {
+    Topology(nodes, RssMap(2), {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("index 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("id 0"), std::string::npos) << msg;
+  }
+}
+
+TEST(TopologyValidation, RejectsClientWithBadApReference) {
+  // Client points at a nonexistent node.
+  std::vector<Node> missing{Node{0, {}, true, kNoNode},
+                            Node{1, {}, false, 7}};
+  EXPECT_THROW(Topology(missing, RssMap(2), {}), std::invalid_argument);
+  // Client points at another client.
+  std::vector<Node> not_ap{Node{0, {}, true, kNoNode},
+                           Node{1, {}, false, 0},
+                           Node{2, {}, false, 1}};
+  try {
+    Topology(not_ap, RssMap(3), {});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("not an AP"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(TopologyValidation, RejectsNanAndPositiveRss) {
+  std::vector<Node> nodes{Node{0, {}, true, kNoNode},
+                          Node{1, {}, false, 0}};
+  for (const double bad :
+       {std::numeric_limits<double>::quiet_NaN(), 3.5,
+        std::numeric_limits<double>::infinity()}) {
+    RssMap rss(2);
+    rss.set_rss(0, 1, bad);
+    try {
+      Topology(nodes, rss, {});
+      FAIL() << "expected std::invalid_argument for RSS " << bad;
+    } catch (const std::invalid_argument& e) {
+      // The offending pair is named.
+      EXPECT_NE(std::string(e.what()).find("RSS(0, 1)"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(TopologyValidation, AcceptsNegativeInfinityAsNoPath) {
+  std::vector<Node> nodes{Node{0, {}, true, kNoNode},
+                          Node{1, {}, false, 0}};
+  RssMap rss(2);
+  rss.set_rss(0, 1, -std::numeric_limits<double>::infinity());
+  EXPECT_NO_THROW(Topology(nodes, rss, {}));
+}
+
+TEST(TopologyValidation, RejectsMismatchedRssMapSize) {
+  std::vector<Node> nodes{Node{0, {}, true, kNoNode}};
+  EXPECT_THROW(Topology(nodes, RssMap(3), {}), std::invalid_argument);
+}
+
+TEST(TopologyValidation, BuildTmnRejectsZeroShape) {
+  Rng rng(1);
+  const auto trace = synthesize_trace({}, rng);
+  EXPECT_THROW(Topology::build_tmn(trace.rss, 0, 2, {}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(Topology::build_tmn(trace.rss, 10, 0, {}, rng),
+               std::invalid_argument);
+}
+
+TEST(TopologyValidation, RandomNetworkRejectsDegenerateArea) {
+  Rng rng(1);
+  LogDistanceModel model;
+  EXPECT_THROW(Topology::random_network(0, 2, 100.0, model, {}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(Topology::random_network(2, 2, 0.0, model, {}, rng),
+               std::invalid_argument);
+  EXPECT_THROW(Topology::random_network(2, 2, -5.0, model, {}, rng),
+               std::invalid_argument);
+}
+
+TEST(TopologyValidation, ManualBuilderRejectsBadEdgeIds) {
+  ManualTopologyBuilder b;
+  const auto ap = b.add_ap();
+  b.add_client(ap);
+  b.set_rss(0, 9, -40.0);  // node 9 does not exist
+  try {
+    b.build();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("(0, 9)"), std::string::npos)
+        << e.what();
+  }
+}
 
 TEST(Census, Tmn102HasHiddenAndExposedPairs) {
   // The paper reports 10 hidden and 62 exposed pairs in its T(10,2); our
