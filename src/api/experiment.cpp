@@ -58,6 +58,11 @@ struct Experiment::Impl {
   std::shared_ptr<TimelineRecorder> timeline;
   domino::DominoTrace trace;
 
+  // Built only when auditing resolves on (cfg.audit / DMN_AUDIT). The
+  // auditor is strictly passive — no RNG draws, no scheduled events — so
+  // its presence cannot perturb results.
+  std::unique_ptr<audit::SimAuditor> auditor;
+
   // Built only when cfg.faults has an active knob: the fault-free path
   // consumes no extra RNG fork and schedules no extra events, keeping its
   // results byte-identical to builds without the fault subsystem.
@@ -96,6 +101,9 @@ struct Experiment::Impl {
 
   void deliver(const traffic::Packet& p, topo::NodeId at, TimeNs now) {
     if (at != p.dst) return;
+    // TCP ACKs are reverse-path control enqueued outside the offered-packet
+    // hook; the conservation ledger tracks generated data packets only.
+    if (auditor && !p.tcp_is_ack) auditor->on_delivered(p, at, now);
     if (tcp()) {
       if (p.tcp_is_ack) {
         const auto it = tcp_senders.find(p.flow);
@@ -145,7 +153,13 @@ struct Experiment::Impl {
       mac::MacEntity* src_mac = macs[static_cast<std::size_t>(fc.flow.src)];
       auto enqueue = [this, src_mac](traffic::Packet p) {
         stats.record_offered(p.flow);
-        return src_mac->enqueue(std::move(p));
+        if (!auditor) return src_mac->enqueue(std::move(p));
+        auditor->on_offered(p);
+        const traffic::PacketId id = p.id;
+        const traffic::FlowId flow = p.flow;
+        const bool accepted = src_mac->enqueue(std::move(p));
+        if (!accepted) auditor->on_offer_rejected(id, flow);
+        return accepted;
       };
       if (tcp()) {
         traffic::TcpParams tp = cfg.tcp;
@@ -183,13 +197,28 @@ struct Experiment::Impl {
   void build_stack() {
     if (cfg.record_timeline) {
       timeline = std::make_shared<TimelineRecorder>();
+    }
+    // The trace fans out to the timeline recorder and/or the auditor;
+    // hooks stay unset (and cost nothing) when neither consumer wants them.
+    if (timeline || auditor) {
       trace.on_data_tx = [this](std::uint64_t slot, topo::NodeId s,
                                 topo::NodeId r, TimeNs t, bool fake,
                                 bool uplink) {
-        timeline->record_tx(slot, s, r, t, fake, uplink);
+        if (timeline) timeline->record_tx(slot, s, r, t, fake, uplink);
+        if (auditor) auditor->on_data_tx(slot, s, r, t, fake, uplink);
       };
       trace.on_poll = [this](std::uint64_t slot, topo::NodeId ap, TimeNs t) {
-        timeline->record_poll(slot, ap, t);
+        if (timeline) timeline->record_poll(slot, ap, t);
+        if (auditor) auditor->on_poll(slot, ap, t);
+      };
+    }
+    if (auditor) {
+      trace.on_trigger = [this](std::uint64_t tag, topo::NodeId n, TimeNs t) {
+        auditor->on_trigger(tag, n, t);
+      };
+      trace.on_continuation = [this](std::uint64_t slot, topo::NodeId n,
+                                     TimeNs t) {
+        auditor->on_continuation(slot, n, t);
       };
     }
 
@@ -202,10 +231,12 @@ struct Experiment::Impl {
                      *graph,
                      root,
                      delivery_fn(),
-                     cfg.record_timeline ? &trace : nullptr,
-                     injector.get()};
+                     (timeline || auditor) ? &trace : nullptr,
+                     injector.get(),
+                     auditor.get()};
     macs.assign(topo.num_nodes(), nullptr);
     stack->build(ctx, macs);
+    if (auditor) auditor->attach_macs(macs);
   }
 
   ExperimentResult run() {
@@ -218,6 +249,24 @@ struct Experiment::Impl {
       injector = std::make_unique<fault::FaultInjector>(
           sim, topo.num_nodes(), cfg.faults, root.fork());
     }
+
+    const audit::AuditMode audit_mode = audit::resolve_mode(cfg.audit);
+    if (audit_mode != audit::AuditMode::kOff) {
+      audit::AuditSettings as;
+      as.max_inbound = cfg.converter.max_inbound;
+      as.max_outbound = cfg.converter.max_outbound;
+      as.trigger_rss_floor_dbm = cfg.converter.trigger_rss_floor_dbm;
+      as.insert_fake_links = cfg.converter.insert_fake_links;
+      as.rop_max_report = static_cast<unsigned>(cfg.rop.max_queue_report());
+      as.signature_forging = cfg.faults.signature.false_positive_rate > 0.0;
+      auditor = std::make_unique<audit::SimAuditor>(sim, topo, audit_mode, as);
+      auditor->attach_medium(medium);
+      auditor->attach_graph(*graph);
+    }
+    if (cfg.audit.mutation == audit::Mutation::kMediumLeakPower) {
+      medium.set_test_power_leak(true);
+    }
+
     build_stack();
     build_traffic();
     if (injector) injector->arm_medium(medium, cfg.duration);
@@ -258,6 +307,10 @@ struct Experiment::Impl {
       result.fault_forced_false_positives = fc.forced_trigger_false_positives;
     }
     result.timeline = timeline;
+    if (auditor) {
+      auditor->finalize();
+      result.audit = auditor->report();
+    }
     return result;
   }
 };

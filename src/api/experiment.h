@@ -15,6 +15,7 @@
 #include <string>
 
 #include "api/metrics.h"
+#include "audit/audit.h"
 #include "centaur/centaur.h"
 #include "domino/controller.h"
 #include "domino/domino_mac.h"
@@ -78,6 +79,13 @@ struct ExperimentConfig {
   /// strict no-op: the injector is not even instantiated, so results stay
   /// byte-identical to the fault-free path.
   fault::FaultPlan faults;
+
+  /// Online invariant auditing (src/audit). Defaults to AuditMode::kInherit,
+  /// which reads the DMN_AUDIT environment variable (off when unset). The
+  /// auditor is strictly passive, so audit-on results are byte-identical to
+  /// audit-off results; this field is deliberately excluded from
+  /// hash_config (sweep_io) for the same reason.
+  audit::AuditConfig audit;
 
   bool record_timeline = false;
 

@@ -9,6 +9,10 @@
 #include "topo/conflict_graph.h"
 #include "traffic/packet.h"
 
+namespace dmn::audit {
+struct AuditReport;
+}
+
 namespace dmn::api {
 
 struct LinkResult {
@@ -71,6 +75,11 @@ struct ExperimentResult {
 
   /// Present when the config asked for timeline recording (DOMINO only).
   std::shared_ptr<TimelineRecorder> timeline;
+
+  /// Present when invariant auditing was enabled (cfg.audit / DMN_AUDIT).
+  /// Like `timeline`, deliberately NOT serialized by serialize_result —
+  /// audit-on results must stay byte-identical to audit-off results.
+  std::shared_ptr<const audit::AuditReport> audit;
 
   double throughput_mbps() const { return aggregate_throughput_bps / 1e6; }
   double mean_recovery_latency_slots() const {

@@ -39,6 +39,9 @@ struct DominoTrace;
 namespace dmn::fault {
 class FaultInjector;
 }
+namespace dmn::audit {
+class SimAuditor;
+}
 
 namespace dmn::api {
 
@@ -66,6 +69,10 @@ struct StackContext {
   /// fault injector. Stacks route their backbone, controller and MAC fault
   /// hooks through it so every scheme runs under the same impairments.
   fault::FaultInjector* faults = nullptr;
+  /// Non-null when invariant auditing is enabled (cfg.audit / DMN_AUDIT):
+  /// stacks with auditable seams (DOMINO's schedule observer) attach it and
+  /// apply cfg.audit.mutation test defects to their components.
+  audit::SimAuditor* audit = nullptr;
 };
 
 /// One channel-access scheme's assembly and bookkeeping. Lifetime: built

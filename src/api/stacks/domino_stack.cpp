@@ -6,6 +6,7 @@
 
 #include "api/experiment.h"
 #include "api/metrics.h"
+#include "audit/audit.h"
 #include "fault/fault_injector.h"
 #include "rop/rop_protocol.h"
 #include "sim/simulator.h"
@@ -35,6 +36,15 @@ void DominoStack::build(StackContext& ctx,
       ctx.sim, *backbone_, topo, ctx.graph, *signatures_, domino_params,
       cfg.converter, timing.slot_duration(), timing.rop_duration());
   if (ctx.faults != nullptr) controller_->set_fault_injector(ctx.faults);
+  if (ctx.audit != nullptr) controller_->set_schedule_observer(ctx.audit);
+  const audit::Mutation mutation = cfg.audit.mutation;
+  if (mutation == audit::Mutation::kConverterExtraTrigger) {
+    controller_->converter().set_test_defect(
+        domino::ScheduleConverter::TestDefect::kExtraTrigger);
+  } else if (mutation == audit::Mutation::kConverterConflictingEntry) {
+    controller_->converter().set_test_defect(
+        domino::ScheduleConverter::TestDefect::kConflictingEntry);
+  }
 
   // APs with subchannel allocation for their clients.
   rop::SubchannelAllocator alloc(cfg.rop);
@@ -42,6 +52,19 @@ void DominoStack::build(StackContext& ctx,
   std::map<topo::NodeId, std::size_t> subchannel_of;
   for (topo::NodeId ap : topo.aps()) {
     const std::vector<topo::NodeId> clients = topo.clients_of(ap);
+    // The AP executes every ROP poll in a single symbol, so each of its
+    // clients needs a dedicated subchannel. The allocator would wrap into a
+    // second round, but the MAC has no round scheduling — two clients on the
+    // same subchannel would answer the same poll and collide silently.
+    if (clients.size() > cfg.rop.num_subchannels) {
+      throw std::invalid_argument(
+          "DOMINO: AP " + std::to_string(ap) + " serves " +
+          std::to_string(clients.size()) +
+          " clients but ROP polls at most " +
+          std::to_string(cfg.rop.num_subchannels) +
+          " subchannels per symbol; split the BSS or raise "
+          "rop.num_subchannels");
+    }
     std::vector<double> rss;
     rss.reserve(clients.size());
     for (topo::NodeId c : clients) rss.push_back(topo.rss(ap, c));
@@ -93,6 +116,13 @@ void DominoStack::build(StackContext& ctx,
     if (ctx.faults != nullptr) {
       node->set_faults(ctx.faults);
       node->set_clock_skew_ppm(ctx.faults->clock_skew_ppm(c));
+    }
+    if (mutation == audit::Mutation::kMacTriggerWithoutSignature) {
+      node->set_test_trigger_on_any_burst(true);
+    } else if (mutation == audit::Mutation::kMacDoubleDelivery) {
+      node->set_test_double_delivery(true);
+    } else if (mutation == audit::Mutation::kRopReportOffset) {
+      node->set_test_rop_report_offset(true);
     }
     macs[static_cast<std::size_t>(c)] = node.get();
     clients_.push_back(std::move(node));

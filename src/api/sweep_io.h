@@ -16,7 +16,10 @@
 //
 // The timeline recorder (ExperimentResult::timeline) is intentionally not
 // serialized: checkpointing targets long unattended sweeps, which never
-// record timelines. A restored result has timeline == nullptr.
+// record timelines. A restored result has timeline == nullptr. The audit
+// report (ExperimentResult::audit) is excluded for the same reason, and so
+// that audit-on results serialize byte-identically to audit-off results;
+// hash_config likewise ignores ExperimentConfig::audit.
 
 #include <cstdint>
 #include <string>

@@ -1,0 +1,276 @@
+#pragma once
+// Online invariant auditor: continuously re-verifies the semantic claims the
+// simulator's layers rely on, while the simulation runs.
+//
+// Golden tests pin today's outputs; they cannot say the outputs are *right*.
+// The auditor can: it hooks the existing layers through narrow observer
+// seams (phy::MediumObserver, domino::ScheduleObserver, domino::DominoTrace,
+// and the facade's traffic hooks) and re-checks, per event:
+//
+//   medium     incremental interference accounting == from-scratch per-node
+//              power recompute over the active transmissions; carrier-sense
+//              cache consistent with its defining predicate;
+//   converter  every strict slot is an independent set; the relative
+//              schedule's real entries map back exactly to their strict
+//              slot; trigger in-degree <= max_inbound / out-degree <=
+//              max_outbound and via/target/rss-floor validity; fake entries
+//              only fill uncovered capacity under the data-only conflict
+//              rule; batches connect through the shared overlap slot;
+//   domino MAC a client transmission fires only after its trigger signature
+//              was actually on the air (or an in-band continuation
+//              authorized it); per-node slot tags advance strictly
+//              monotonically;
+//   ROP        one poll's responses occupy pairwise-distinct subchannels;
+//              a response's queue report equals the client's queue length
+//              at poll time modulo 6-bit saturation; responders belong to
+//              the polling AP;
+//   traffic    per-flow conservation: a delivered packet was offered and
+//              accepted, never rejected at enqueue, and never delivered
+//              twice.
+//
+// The auditor is STRICTLY passive: it consumes no RNG, schedules no events
+// and never mutates simulation state, so audit-on results are byte-identical
+// to audit-off results (tests/audit_test.cpp asserts this through
+// api::serialize_result). When off it costs one null pointer check per seam.
+//
+// Enabling: set ExperimentConfig::audit.mode explicitly, or export
+// DMN_AUDIT=1 (throw on first violation) / DMN_AUDIT=record (accumulate
+// into the AuditReport surfaced on ExperimentResult::audit). The env knob
+// lets every existing bench and test run audited without code changes.
+//
+// Trusting the auditor: audit::Mutation enumerates deliberately broken
+// variants of the audited layers (a medium that leaks power on TX end, a
+// converter that over-assigns triggers, a client that misreports its
+// queue, ...) behind test-only hooks. tests/audit_test.cpp compiles each
+// mutant and asserts the corresponding invariant trips — proving the
+// auditor catches the bugs it claims to. docs/TESTING.md describes how to
+// add an invariant together with its mutant.
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <set>
+#include <stdexcept>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "domino/controller.h"
+#include "mac/mac_common.h"
+#include "phy/medium.h"
+#include "sim/simulator.h"
+#include "topo/conflict_graph.h"
+#include "topo/topology.h"
+#include "traffic/packet.h"
+
+namespace dmn::audit {
+
+enum class AuditMode {
+  /// Consult the DMN_AUDIT environment variable ("" / unset = off,
+  /// "record" = record, anything else truthy = throw).
+  kInherit,
+  kOff,
+  /// Accumulate violations into the AuditReport; never throw.
+  kRecord,
+  /// Throw AuditViolation at the first violation (loud CI / bench mode).
+  kThrow,
+};
+
+/// Deliberately broken layer variants for the auditor self-test. kNone in
+/// every real experiment; tests/audit_test.cpp runs one mutant per value
+/// and asserts the matching invariant trips.
+enum class Mutation {
+  kNone = 0,
+  /// phy::Medium removes only half of a transmission's power row at TX end,
+  /// corrupting the incremental interference sums.
+  kMediumLeakPower,
+  /// ScheduleConverter duplicates a trigger past max_inbound.
+  kConverterExtraTrigger,
+  /// ScheduleConverter appends a fake entry that conflicts with its slot.
+  kConverterConflictingEntry,
+  /// DominoNodeBase treats every triggering burst as carrying its code.
+  kMacTriggerWithoutSignature,
+  /// DominoClientMac delivers a decoded downlink packet twice.
+  kMacDoubleDelivery,
+  /// DominoClientMac reports queue length + 1 in ROP responses.
+  kRopReportOffset,
+};
+
+struct AuditConfig {
+  AuditMode mode = AuditMode::kInherit;
+  /// Test-only: compile one deliberate defect into the stack (see above).
+  Mutation mutation = Mutation::kNone;
+};
+
+/// The effective mode: an explicit config mode wins; kInherit resolves the
+/// DMN_AUDIT environment variable.
+AuditMode resolve_mode(const AuditConfig& cfg);
+
+/// One observed invariant violation, with simulation-time context.
+struct AuditRecord {
+  std::string invariant;  // dotted name, e.g. "converter.trigger-in-degree"
+  std::string detail;
+  TimeNs sim_time = 0;
+};
+
+/// Violation summary surfaced on ExperimentResult::audit. Stored records
+/// are capped; counters are exact.
+struct AuditReport {
+  std::uint64_t checks_run = 0;
+  std::uint64_t total_violations = 0;
+  std::map<std::string, std::uint64_t> violations_by_invariant;
+  /// First kMaxStored violations, in occurrence order.
+  std::vector<AuditRecord> records;
+  static constexpr std::size_t kMaxStored = 64;
+
+  bool violation_free() const { return total_violations == 0; }
+  std::string summary() const;
+};
+
+/// Thrown (in kThrow mode) at the first violated invariant.
+class AuditViolation : public std::runtime_error {
+ public:
+  AuditViolation(const std::string& invariant, const std::string& detail,
+                 TimeNs sim_time);
+
+  std::string invariant;
+  TimeNs sim_time = 0;
+};
+
+/// Scheme-independent settings the facade distills from ExperimentConfig
+/// (the auditor must not depend on the api layer).
+struct AuditSettings {
+  // Converter limits (ExperimentConfig::converter).
+  int max_inbound = 2;
+  int max_outbound = 4;
+  double trigger_rss_floor_dbm = -82.0;
+  bool insert_fake_links = true;
+  /// ROP 6-bit saturation ceiling (RopParams::max_queue_report()).
+  unsigned rop_max_report = 63;
+  /// Fault injection forges trigger false positives: the trigger-provenance
+  /// invariant cannot hold and is skipped.
+  bool signature_forging = false;
+};
+
+class SimAuditor final : public phy::MediumObserver,
+                         public domino::ScheduleObserver {
+ public:
+  SimAuditor(sim::Simulator& sim, const topo::Topology& topo, AuditMode mode,
+             AuditSettings settings);
+
+  // ---- wiring (facade / stacks) -------------------------------------------
+  void attach_medium(phy::Medium& medium);
+  void attach_graph(const topo::ConflictGraph& graph) { graph_ = &graph; }
+  /// The facade's NodeId-indexed MAC table (must outlive the auditor).
+  void attach_macs(const std::vector<mac::MacEntity*>& macs) {
+    macs_ = &macs;
+  }
+
+  // ---- phy::MediumObserver ------------------------------------------------
+  void on_medium_tx(const phy::Frame& frame, TimeNs start,
+                    TimeNs end) override;
+  void on_medium_accounting() override;
+
+  // ---- domino::ScheduleObserver -------------------------------------------
+  void on_batch_planned(
+      const std::vector<std::vector<topo::LinkId>>& strict,
+      const domino::RelativeSchedule& rs,
+      const std::vector<domino::SlotEntry>& prev_last,
+      const std::vector<topo::NodeId>& rop_aps_needed) override;
+
+  // ---- DominoTrace hooks (chained by the facade) --------------------------
+  void on_trigger(std::uint64_t tag, topo::NodeId node, TimeNs t);
+  void on_data_tx(std::uint64_t slot, topo::NodeId node, topo::NodeId peer,
+                  TimeNs t, bool fake, bool uplink);
+  void on_poll(std::uint64_t slot, topo::NodeId ap, TimeNs t);
+  /// In-band continuation authorizing `node` to transmit in `slot`.
+  void on_continuation(std::uint64_t slot, topo::NodeId node, TimeNs t);
+
+  // ---- traffic hooks (facade) ---------------------------------------------
+  /// An application packet was offered to its source MAC.
+  void on_offered(const traffic::Packet& p);
+  /// The source MAC rejected the offered packet (queue full).
+  void on_offer_rejected(traffic::PacketId id, traffic::FlowId flow);
+  /// A data packet was delivered at its MAC destination. TCP ACKs are not
+  /// routed here (they are reverse-path control, not generated app data).
+  void on_delivered(const traffic::Packet& p, topo::NodeId at, TimeNs now);
+
+  /// End-of-run checks; call once after the simulation completed.
+  void finalize();
+
+  std::shared_ptr<const AuditReport> report() const { return report_; }
+
+ private:
+  void violate(const std::string& invariant, const std::string& detail);
+  void check(bool ok, const char* invariant, const std::string& detail);
+
+  void check_medium_sums();
+  void check_relative_slot(const domino::RelSlot& slot,
+                           const std::vector<topo::LinkId>& strict_slot,
+                           bool has_strict);
+  void check_boundary(const domino::RelSlot& from,
+                      const domino::RelSlot& to);
+  bool aps_can_share_rop(topo::NodeId a, topo::NodeId b) const;
+  void prune_signature_ledger(TimeNs now);
+
+  sim::Simulator& sim_;
+  const topo::Topology& topo_;
+  AuditMode mode_;
+  AuditSettings settings_;
+  std::shared_ptr<AuditReport> report_;
+
+  phy::Medium* medium_ = nullptr;
+  const topo::ConflictGraph* graph_ = nullptr;
+  const std::vector<mac::MacEntity*>* macs_ = nullptr;
+
+  // Scratch for the from-scratch medium recompute (avoids per-check allocs).
+  std::vector<double> scratch_inbound_;
+  std::vector<double> scratch_rop_;
+  std::vector<std::uint32_t> scratch_txcount_;
+
+  // Batch-connection state across on_batch_planned calls.
+  bool have_prev_batch_ = false;
+  std::uint64_t prev_batch_last_index_ = 0;
+  std::vector<domino::SlotEntry> prev_batch_last_entries_;
+
+  // Signature ledger: recent on-air trigger bursts, for provenance checks.
+  struct BurstRecord {
+    topo::NodeId src;
+    TimeNs end;
+    std::vector<std::size_t> codes;
+  };
+  std::deque<BurstRecord> bursts_;
+
+  // Per-node slot-lattice state.
+  struct NodeLattice {
+    bool has_last = false;
+    std::uint64_t last_data_tag = 0;
+    /// Slots this client may transmit in (trigger tag+1 / continuation).
+    std::set<std::uint64_t> authorized;
+  };
+  std::vector<NodeLattice> lattice_;
+
+  // ROP state: responses per (ap, poll tag), and per-client subchannel.
+  struct PollGroup {
+    std::uint64_t key;  // (ap << 40) | tag
+    TimeNs last_seen;
+    std::vector<std::pair<topo::NodeId, std::size_t>> responses;
+  };
+  std::deque<PollGroup> polls_;
+  std::unordered_map<topo::NodeId, std::size_t> client_subchannel_;
+
+  // Traffic conservation (per packet id; ids are globally unique).
+  struct FlowLedger {
+    std::uint64_t generated = 0;
+    std::uint64_t delivered = 0;
+    std::uint64_t rejected = 0;
+  };
+  std::map<traffic::FlowId, FlowLedger> flow_ledger_;
+  std::unordered_set<traffic::PacketId> offered_ids_;
+  std::unordered_set<traffic::PacketId> rejected_ids_;
+  std::unordered_set<traffic::PacketId> delivered_ids_;
+};
+
+}  // namespace dmn::audit

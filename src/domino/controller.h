@@ -46,6 +46,21 @@ struct ApReport {
   std::vector<ClientQueueReport> downlink;
 };
 
+/// Passive audit seam (src/audit): sees every planned batch — the strict
+/// schedule the RAND scheduler produced, the relative schedule converted
+/// from it, the previous batch's retained last slot and the APs that needed
+/// an ROP poll — before the controller advances its own batch state.
+/// Implementations must not mutate anything.
+class ScheduleObserver {
+ public:
+  virtual ~ScheduleObserver() = default;
+
+  virtual void on_batch_planned(
+      const std::vector<std::vector<topo::LinkId>>& strict,
+      const RelativeSchedule& rs, const std::vector<SlotEntry>& prev_last,
+      const std::vector<topo::NodeId>& rop_aps_needed) = 0;
+};
+
 class DominoController {
  public:
   using DispatchFn = std::function<void(const ApSchedule&)>;
@@ -80,6 +95,9 @@ class DominoController {
   /// keep executing the last received plan meanwhile.
   void set_fault_injector(fault::FaultInjector* f) { faults_ = f; }
 
+  /// Audit seam (nullable): observes every planned batch.
+  void set_schedule_observer(ScheduleObserver* obs) { schedule_obs_ = obs; }
+
   std::uint64_t batches_planned() const { return batches_; }
   /// Planning rounds skipped because the controller was down.
   std::uint64_t outage_skips() const { return outage_skips_; }
@@ -102,6 +120,7 @@ class DominoController {
   DispatchFn dispatch_;
   DownlinkPeekFn peek_;
   fault::FaultInjector* faults_ = nullptr;
+  ScheduleObserver* schedule_obs_ = nullptr;
   std::uint64_t outage_skips_ = 0;
 
   std::map<topo::LinkId, std::size_t> estimates_;

@@ -51,9 +51,11 @@ void ScheduleConverter::assign_triggers(RelSlot& from, RelSlot& to) {
   if (from.entries.empty()) {
     // Very first batch: no preceding slot exists, so nothing can trigger —
     // the APs individually self-start this slot from their local clocks
-    // (§3.3 batch connection). Keep every entry, assign no triggers.
-    from.rop_aps.clear();
-    from.rop_after = false;
+    // (§3.3 batch connection). Keep every entry, assign no triggers. Polls
+    // forced onto this boundary stay: the polling AP self-starts the poll
+    // from its anchored lattice, exactly like an untriggerable real entry
+    // (dropping them here silently lost a demanded poll each time the
+    // forced ROP placement landed on an empty overlap slot).
     return;
   }
   // Targets: senders of `to`'s entries, plus APs polling right after
@@ -283,6 +285,35 @@ RelativeSchedule ScheduleConverter::convert(
   // Trigger assignment across consecutive slot pairs.
   for (std::size_t i = 0; i + 1 < rs.slots.size(); ++i) {
     assign_triggers(rs.slots[i], rs.slots[i + 1]);
+  }
+
+  // Auditor self-test defects (src/audit): corrupt the otherwise-correct
+  // output the way a converter bug would, so the auditor must flag it.
+  if (test_defect_ == TestDefect::kExtraTrigger) {
+    for (RelSlot& s : rs.slots) {
+      auto it = std::find_if(
+          s.triggers.begin(), s.triggers.end(),
+          [](const Trigger& t) { return !t.continuation; });
+      if (it == s.triggers.end()) continue;
+      const Trigger dup = *it;
+      for (int i = 0; i <= params_.max_inbound; ++i) s.triggers.push_back(dup);
+      break;
+    }
+  } else if (test_defect_ == TestDefect::kConflictingEntry) {
+    for (std::size_t i = 1; i < rs.slots.size(); ++i) {
+      RelSlot& s = rs.slots[i];
+      if (s.entries.empty()) continue;
+      const topo::LinkId a = s.entries.front().link;
+      topo::LinkId bad = a;  // fallback: a duplicate entry is also invalid
+      for (topo::LinkId b : all_links) {
+        if (b != a && graph_.data_conflicts(a, b)) {
+          bad = b;
+          break;
+        }
+      }
+      s.entries.push_back(SlotEntry{bad, /*fake=*/true});
+      break;
+    }
   }
   return rs;
 }

@@ -63,6 +63,18 @@ class ScheduleConverter {
   /// Count of entries dropped because no trigger could reach them.
   std::uint64_t untriggerable_drops() const { return dropped_; }
 
+  /// Test-only defects for the auditor self-test (src/audit): convert()
+  /// injects the defect into its otherwise-correct output so the auditor
+  /// must catch it.
+  enum class TestDefect {
+    kNone = 0,
+    /// Duplicate an existing trigger until its target exceeds max_inbound.
+    kExtraTrigger,
+    /// Append a fake entry that conflicts with a scheduled entry.
+    kConflictingEntry,
+  };
+  void set_test_defect(TestDefect d) { test_defect_ = d; }
+
  private:
   /// Endpoints (senders and receivers) of a slot's entries.
   std::vector<topo::NodeId> endpoints(const RelSlot& slot) const;
@@ -76,6 +88,7 @@ class ScheduleConverter {
   const SignaturePlan& signatures_;
   ConverterParams params_;
   std::uint64_t dropped_ = 0;
+  TestDefect test_defect_ = TestDefect::kNone;
 };
 
 }  // namespace dmn::domino

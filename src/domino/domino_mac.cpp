@@ -180,6 +180,12 @@ void DominoNodeBase::evaluate_sig_buffer() {
       has_mine = true;
     }
 
+    // Auditor self-test defect: every triggering burst looks like ours
+    // (audit::Mutation::kMacTriggerWithoutSignature).
+    if (test_trigger_on_any_burst_ && triggering && !b.burst.recovery) {
+      has_mine = true;
+    }
+
     if (!has_mine) continue;
     if (!triggering) continue;
     if (!model_.sample_detect(total, b.sinr_db, rng_)) continue;
@@ -857,6 +863,9 @@ void DominoClientMac::schedule_data_tx(std::uint64_t tag, TimeNs at) {
 void DominoClientMac::handle_continuation(const phy::SignatureBurst& instr,
                                           std::uint64_t tag, TimeNs slot_t0) {
   if (!instr.continue_next) return;
+  if (trace_ != nullptr && trace_->on_continuation) {
+    trace_->on_continuation(tag + 1, node(), sim_.now());
+  }
   const TimeNs next_t0 =
       slot_t0 + timing_.slot_duration() +
       (instr.rop_signature ? timing_.rop_duration() : 0);
@@ -941,6 +950,8 @@ void DominoClientMac::handle_frame(const phy::Frame& frame,
       });
       if (seen_.insert(frame.packet_id)) {
         deliver_(*frame.packet, node(), sim_.now());
+        // Auditor self-test defect (audit::Mutation::kMacDoubleDelivery).
+        if (test_double_delivery_) deliver_(*frame.packet, node(), sim_.now());
       }
       // Rebroadcast the instructed signatures at the slot's signature
       // phase: our ACK ends at now + SIFS + ack_air; burst one slot later.
@@ -997,6 +1008,8 @@ void DominoClientMac::handle_frame(const phy::Frame& frame,
         resp.subchannel = subchannel_;
         resp.queue_report = static_cast<unsigned>(
             std::min<std::size_t>(queue_.size(), 63));
+        // Auditor self-test defect (audit::Mutation::kRopReportOffset).
+        if (test_rop_report_offset_) ++resp.queue_report;
         resp.slot_tag = tag;
         radio_.send(resp);
       });

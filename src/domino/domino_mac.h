@@ -121,6 +121,9 @@ struct DominoTrace {
       on_data_tx;
   std::function<void(std::uint64_t, topo::NodeId, TimeNs)> on_poll;
   std::function<void(std::uint64_t, topo::NodeId, TimeNs)> on_trigger;
+  /// In-band continuation instruction accepted: `node` may transmit in slot
+  /// `tag` without a signature trigger (audit provenance seam).
+  std::function<void(std::uint64_t, topo::NodeId, TimeNs)> on_continuation;
 };
 
 /// Shared behaviour: signature-burst detection buffer and slot anchoring.
@@ -142,6 +145,13 @@ class DominoNodeBase : public phy::MediumClient {
   /// (expected_start and everything built on it) — the only timers where
   /// ppm-scale error accumulates to observable magnitude.
   void set_clock_skew_ppm(double ppm) { clock_skew_ppm_ = ppm; }
+
+  /// Test-only defect (audit::Mutation::kMacTriggerWithoutSignature): treat
+  /// every triggering burst as carrying this node's code, firing triggers
+  /// whose signature was never on the air.
+  void set_test_trigger_on_any_burst(bool on) {
+    test_trigger_on_any_burst_ = on;
+  }
 
   // ---- chain-health observability ----------------------------------------
   /// Trigger bursts this node was forced to miss by fault injection.
@@ -210,6 +220,7 @@ class DominoNodeBase : public phy::MediumClient {
   fault::FaultInjector* faults_ = nullptr;
   double clock_skew_ppm_ = 0.0;
   bool powered_ = true;
+  bool test_trigger_on_any_burst_ = false;
 
   std::uint64_t forced_trigger_losses_ = 0;
   std::uint64_t anchor_rejections_total_ = 0;
@@ -374,6 +385,10 @@ class DominoClientMac final : public DominoNodeBase, public mac::MacEntity {
 
   std::uint64_t ack_timeouts() const { return ack_timeouts_; }
 
+  /// Test-only defects for the auditor self-test (src/audit).
+  void set_test_double_delivery(bool on) { test_double_delivery_ = on; }
+  void set_test_rop_report_offset(bool on) { test_rop_report_offset_ = on; }
+
  protected:
   void on_trigger_detected(std::uint64_t tag, bool rop,
                            TimeNs detect_time) override;
@@ -405,6 +420,8 @@ class DominoClientMac final : public DominoNodeBase, public mac::MacEntity {
   BoundedIdFilter seen_;  // downlink duplicate filter (bounded, oldest-out)
 
   std::uint64_t ack_timeouts_ = 0;
+  bool test_double_delivery_ = false;
+  bool test_rop_report_offset_ = false;
 };
 
 }  // namespace dmn::domino

@@ -68,6 +68,9 @@ std::uint32_t Medium::alloc_slot() {
 }
 
 void Medium::apply_tx_power(const ActiveTx& tx, double sign) {
+  // Auditor self-test defect: leave half the row behind on removal, the way
+  // a missed bookkeeping path would (audit::Mutation::kMediumLeakPower).
+  if (test_power_leak_ && sign < 0.0) sign = -0.5;
   // The diagonal of the linear-power matrix is exactly 0 mW (rss of a node
   // to itself is -inf dBm), so adding the whole row is a no-op for the
   // transmitter itself — matching the reference accounting that skipped
@@ -126,6 +129,7 @@ void Medium::refresh_interference_and_cs() {
       if (clients_[i] != nullptr) clients_[i]->on_cs_change(busy);
     }
   }
+  if (observer_ != nullptr) observer_->on_medium_accounting();
 }
 
 void Medium::transmit(const Frame& frame) {
@@ -174,6 +178,7 @@ void Medium::transmit(const Frame& frame) {
   ++tx_count_[static_cast<std::size_t>(frame.src)];
   apply_tx_power(tx, +1.0);
   refresh_interference_and_cs();
+  if (observer_ != nullptr) observer_->on_medium_tx(tx.frame, tx.start, tx.end);
 
   sim_.post_at(tx.end, [this, slot] { on_tx_end(slot); });
 }

@@ -65,6 +65,22 @@ class MediumClient {
   virtual void on_cs_change(bool /*busy*/) {}
 };
 
+/// Passive audit seam (src/audit). Callbacks run inside simulator events,
+/// after the medium finished updating its own state; implementations must
+/// not transmit or mutate the medium. Null observer = zero cost beyond one
+/// pointer test per transmission.
+class MediumObserver {
+ public:
+  virtual ~MediumObserver() = default;
+
+  /// A transmission entered the air (after accounting was updated).
+  virtual void on_medium_tx(const Frame& frame, TimeNs start, TimeNs end) = 0;
+
+  /// The incremental accounting changed (TX start/end, external
+  /// interference change) and has been refreshed.
+  virtual void on_medium_accounting() = 0;
+};
+
 class Medium {
  public:
   Medium(sim::Simulator& sim, const topo::Topology& topo);
@@ -102,6 +118,41 @@ class Medium {
   void set_external_interference_mw(double mw);
   double external_interference_mw() const { return external_intf_mw_; }
 
+  // ---- audit seam -------------------------------------------------------
+  // Read-only views of the incremental accounting so an auditor can diff it
+  // against a from-scratch recompute (src/audit/audit.cpp).
+
+  void set_observer(MediumObserver* obs) { observer_ = obs; }
+
+  /// Visits every active transmission: fn(frame, start, end, is_rop).
+  template <typename Fn>
+  void visit_active_tx(Fn&& fn) const {
+    for (std::uint32_t slot : active_) {
+      const ActiveTx& tx = slab_[slot];
+      fn(tx.frame, tx.start, tx.end, tx.rop);
+    }
+  }
+  std::size_t active_tx_count() const { return active_.size(); }
+  double inbound_mw(topo::NodeId n) const {
+    return inbound_mw_[static_cast<std::size_t>(n)];
+  }
+  double rop_inbound_mw(topo::NodeId n) const {
+    return rop_inbound_mw_[static_cast<std::size_t>(n)];
+  }
+  std::uint32_t tx_count(topo::NodeId n) const {
+    return tx_count_[static_cast<std::size_t>(n)];
+  }
+  /// The cached edge-triggered carrier-sense state (not recomputed).
+  bool cs_busy_cached(topo::NodeId n) const {
+    return cs_busy_[static_cast<std::size_t>(n)];
+  }
+  double cs_threshold_mw() const { return cs_threshold_mw_; }
+
+  /// Test-only defect (audit::Mutation::kMediumLeakPower): TX end removes
+  /// only half of the transmission's power row, corrupting the running sums
+  /// the way a missed/double bookkeeping bug would.
+  void set_test_power_leak(bool on) { test_power_leak_ = on; }
+
  private:
   struct RxAttempt {
     topo::NodeId node;
@@ -134,6 +185,8 @@ class Medium {
   sim::Simulator& sim_;
   const topo::Topology& topo_;
   std::vector<MediumClient*> clients_;
+  MediumObserver* observer_ = nullptr;
+  bool test_power_leak_ = false;
 
   // Slab of transmissions: deque gives stable references across growth; a
   // free list recycles slots (and their RxAttempt vector capacity).

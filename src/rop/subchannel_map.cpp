@@ -14,7 +14,11 @@ SubchannelMap::SubchannelMap(const RopParams& params) : params_(params) {
   // Sanity: everything must fit one side of the spectrum, leaving at least
   // one edge guard bin.
   if (half * block + 1 > params.fft_size / 2) {
-    throw std::invalid_argument("SubchannelMap: layout exceeds half spectrum");
+    throw std::invalid_argument(
+        "SubchannelMap: layout exceeds half spectrum: " +
+        std::to_string(half) + " subchannels per side x " +
+        std::to_string(block) + " bins + 1 edge guard > " +
+        std::to_string(params.fft_size / 2) + " bins");
   }
 
   data_.resize(n);

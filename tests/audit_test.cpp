@@ -1,0 +1,241 @@
+// Tests for the online invariant auditor (src/audit): passivity
+// (byte-identical results), violation-free seed configurations, the
+// cross-scheme differential oracle, and the mutant self-test that proves
+// each audited invariant actually catches its corresponding bug.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "api/experiment.h"
+#include "api/sweep_io.h"
+#include "audit/audit.h"
+#include "topo/topology.h"
+#include "topo/trace_synth.h"
+
+namespace dmn::api {
+namespace {
+
+topo::Topology two_cells() {
+  topo::ManualTopologyBuilder b;
+  const auto a0 = b.add_ap();
+  const auto a1 = b.add_ap();
+  b.add_client(a0);
+  b.add_client(a1);
+  b.sense(a0, a1);
+  return b.build();
+}
+
+topo::Topology tmn(std::uint64_t seed, std::size_t aps = 4,
+                   std::size_t clients = 2) {
+  Rng rng(seed);
+  const auto trace = topo::synthesize_trace({}, rng);
+  return topo::Topology::build_tmn(trace.rss, aps, clients, {}, rng);
+}
+
+ExperimentConfig audited_cfg(Scheme s, audit::AuditMode mode) {
+  ExperimentConfig cfg;
+  cfg.scheme = s;
+  cfg.duration = msec(400);
+  cfg.traffic.downlink_bps = 5e6;
+  cfg.traffic.uplink_bps = 1e6;  // exercises ROP polling + triggers
+  cfg.audit.mode = mode;
+  return cfg;
+}
+
+// ---- mode resolution --------------------------------------------------------
+
+TEST(AuditMode, ExplicitModeWinsOverEnvironment) {
+  ::setenv("DMN_AUDIT", "1", 1);
+  audit::AuditConfig cfg;
+  cfg.mode = audit::AuditMode::kOff;
+  EXPECT_EQ(audit::resolve_mode(cfg), audit::AuditMode::kOff);
+  cfg.mode = audit::AuditMode::kRecord;
+  EXPECT_EQ(audit::resolve_mode(cfg), audit::AuditMode::kRecord);
+  ::unsetenv("DMN_AUDIT");
+}
+
+TEST(AuditMode, InheritReadsEnvironment) {
+  audit::AuditConfig cfg;  // kInherit
+  ::unsetenv("DMN_AUDIT");
+  EXPECT_EQ(audit::resolve_mode(cfg), audit::AuditMode::kOff);
+  ::setenv("DMN_AUDIT", "0", 1);
+  EXPECT_EQ(audit::resolve_mode(cfg), audit::AuditMode::kOff);
+  ::setenv("DMN_AUDIT", "record", 1);
+  EXPECT_EQ(audit::resolve_mode(cfg), audit::AuditMode::kRecord);
+  ::setenv("DMN_AUDIT", "1", 1);
+  EXPECT_EQ(audit::resolve_mode(cfg), audit::AuditMode::kThrow);
+  ::unsetenv("DMN_AUDIT");
+}
+
+// ---- violation-free seed configurations -------------------------------------
+
+TEST(Audit, RunsAndReportsChecks) {
+  auto cfg = audited_cfg(Scheme::kDomino, audit::AuditMode::kRecord);
+  const auto r = run_experiment(tmn(5), cfg);
+  ASSERT_NE(r.audit, nullptr);
+  EXPECT_GT(r.audit->checks_run, 1000u);
+  EXPECT_TRUE(r.audit->violation_free()) << r.audit->summary();
+}
+
+TEST(Audit, AllSchemesViolationFree) {
+  for (Scheme s : {Scheme::kDcf, Scheme::kCentaur, Scheme::kDomino,
+                   Scheme::kOmniscient}) {
+    for (std::uint64_t seed : {1u, 7u}) {
+      auto cfg = audited_cfg(s, audit::AuditMode::kThrow);
+      cfg.seed = seed;
+      const auto r = run_experiment(tmn(5), cfg);  // throws on violation
+      ASSERT_NE(r.audit, nullptr) << to_string(s);
+      EXPECT_TRUE(r.audit->violation_free()) << r.audit->summary();
+    }
+  }
+}
+
+TEST(Audit, TcpDominoViolationFree) {
+  auto cfg = audited_cfg(Scheme::kDomino, audit::AuditMode::kThrow);
+  cfg.traffic.kind = TrafficKind::kTcp;
+  cfg.traffic.uplink_bps = 0.0;
+  const auto r = run_experiment(two_cells(), cfg);
+  ASSERT_NE(r.audit, nullptr);
+  EXPECT_TRUE(r.audit->violation_free()) << r.audit->summary();
+}
+
+TEST(Audit, FaultedDominoViolationFree) {
+  // Faults perturb the chain but must not break the audited semantics:
+  // missed triggers cause recovery, not invariant violations.
+  auto cfg = audited_cfg(Scheme::kDomino, audit::AuditMode::kThrow);
+  cfg.duration = msec(600);
+  cfg.faults.signature.false_negative_rate = 0.02;
+  cfg.faults.clock.max_skew_ppm = 20.0;
+  cfg.faults.backbone.drop_rate = 0.02;
+  const auto r = run_experiment(tmn(5), cfg);
+  ASSERT_NE(r.audit, nullptr);
+  EXPECT_TRUE(r.audit->violation_free()) << r.audit->summary();
+}
+
+TEST(Audit, ForgedTriggersSkipProvenanceButStayViolationFree) {
+  // Forged false positives make nodes act on signatures that were never on
+  // the air; the provenance invariant is gated off, everything else holds.
+  auto cfg = audited_cfg(Scheme::kDomino, audit::AuditMode::kThrow);
+  cfg.faults.signature.false_positive_rate = 0.01;
+  const auto r = run_experiment(tmn(5), cfg);
+  ASSERT_NE(r.audit, nullptr);
+  EXPECT_TRUE(r.audit->violation_free()) << r.audit->summary();
+}
+
+// ---- passivity: audit-on results byte-identical to audit-off ---------------
+
+TEST(Audit, ResultsByteIdenticalWithAuditOn) {
+  for (Scheme s : {Scheme::kDcf, Scheme::kDomino}) {
+    auto off = audited_cfg(s, audit::AuditMode::kOff);
+    auto on = audited_cfg(s, audit::AuditMode::kThrow);
+    const auto r_off = run_experiment(tmn(5), off);
+    const auto r_on = run_experiment(tmn(5), on);
+    EXPECT_EQ(serialize_result(r_off), serialize_result(r_on))
+        << to_string(s);
+    EXPECT_EQ(r_off.audit, nullptr);
+    ASSERT_NE(r_on.audit, nullptr);
+  }
+}
+
+// ---- differential oracle ----------------------------------------------------
+
+TEST(Audit, DominoNeverBeatsOmniscient) {
+  // The omniscient scheduler is the centralized upper bound DOMINO
+  // approximates; on identical topology and traffic draws DOMINO must not
+  // exceed it.
+  for (std::uint64_t topo_seed : {5u, 11u}) {
+    const auto t = tmn(topo_seed);
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      ExperimentConfig cfg;
+      cfg.duration = sec(1);
+      cfg.traffic.saturate_downlink = true;
+      cfg.seed = seed;
+      cfg.scheme = Scheme::kDomino;
+      const auto domino = run_experiment(t, cfg);
+      cfg.scheme = Scheme::kOmniscient;
+      const auto omni = run_experiment(t, cfg);
+      EXPECT_LE(domino.aggregate_throughput_bps,
+                omni.aggregate_throughput_bps * 1.000001)
+          << "topo seed " << topo_seed << " seed " << seed;
+    }
+  }
+}
+
+// ---- mutant self-test -------------------------------------------------------
+
+// Runs a deliberately broken stack variant in record mode and returns the
+// report; the matching invariant must have tripped.
+std::shared_ptr<const audit::AuditReport> run_mutant(audit::Mutation m) {
+  auto cfg = audited_cfg(Scheme::kDomino, audit::AuditMode::kRecord);
+  cfg.audit.mutation = m;
+  const auto r = run_experiment(tmn(5), cfg);
+  EXPECT_NE(r.audit, nullptr);
+  return r.audit;
+}
+
+bool tripped_with_prefix(const audit::AuditReport& rep,
+                         const std::string& prefix) {
+  for (const auto& [name, count] : rep.violations_by_invariant) {
+    if (count > 0 && name.rfind(prefix, 0) == 0) return true;
+  }
+  return false;
+}
+
+std::string tripped_names(const audit::AuditReport& rep) {
+  std::string out;
+  for (const auto& [name, count] : rep.violations_by_invariant) {
+    out += name + "(" + std::to_string(count) + ") ";
+  }
+  return out.empty() ? "<none>" : out;
+}
+
+TEST(AuditMutant, MediumLeakPowerCaught) {
+  const auto rep = run_mutant(audit::Mutation::kMediumLeakPower);
+  EXPECT_TRUE(tripped_with_prefix(*rep, "medium.")) << tripped_names(*rep);
+}
+
+TEST(AuditMutant, ConverterExtraTriggerCaught) {
+  const auto rep = run_mutant(audit::Mutation::kConverterExtraTrigger);
+  EXPECT_TRUE(tripped_with_prefix(*rep, "converter.trigger-in-degree"))
+      << tripped_names(*rep);
+}
+
+TEST(AuditMutant, ConverterConflictingEntryCaught) {
+  const auto rep = run_mutant(audit::Mutation::kConverterConflictingEntry);
+  EXPECT_TRUE(tripped_with_prefix(*rep, "converter.")) << tripped_names(*rep);
+}
+
+TEST(AuditMutant, TriggerWithoutSignatureCaught) {
+  const auto rep = run_mutant(audit::Mutation::kMacTriggerWithoutSignature);
+  EXPECT_TRUE(tripped_with_prefix(*rep, "domino.")) << tripped_names(*rep);
+}
+
+TEST(AuditMutant, DoubleDeliveryCaught) {
+  const auto rep = run_mutant(audit::Mutation::kMacDoubleDelivery);
+  EXPECT_TRUE(tripped_with_prefix(*rep, "traffic.duplicate-delivery"))
+      << tripped_names(*rep);
+}
+
+TEST(AuditMutant, RopReportOffsetCaught) {
+  const auto rep = run_mutant(audit::Mutation::kRopReportOffset);
+  EXPECT_TRUE(tripped_with_prefix(*rep, "rop.")) << tripped_names(*rep);
+}
+
+TEST(AuditMutant, ThrowModeSurfacesSimTimeContext) {
+  auto cfg = audited_cfg(Scheme::kDomino, audit::AuditMode::kThrow);
+  cfg.audit.mutation = audit::Mutation::kMacDoubleDelivery;
+  try {
+    run_experiment(tmn(5), cfg);
+    FAIL() << "expected AuditViolation";
+  } catch (const audit::AuditViolation& e) {
+    EXPECT_EQ(e.invariant, "traffic.duplicate-delivery");
+    EXPECT_GT(e.sim_time, 0);
+    EXPECT_NE(std::string(e.what()).find("traffic.duplicate-delivery"),
+              std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace dmn::api

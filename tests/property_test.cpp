@@ -3,8 +3,13 @@
 
 #include <gtest/gtest.h>
 
+#include <map>
+#include <set>
+
 #include "api/experiment.h"
+#include "domino/converter.h"
 #include "domino/rand_scheduler.h"
+#include "domino/signature_plan.h"
 #include "topo/conflict_graph.h"
 #include "topo/topology.h"
 #include "topo/trace_synth.h"
@@ -53,6 +58,128 @@ TEST_P(ConflictGraphProperty, RandSlotsAlwaysIndependent) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, ConflictGraphProperty,
                          ::testing::Range(1, 9));
+
+// ---- Schedule-converter invariants over random topologies and batches ------
+
+class ConverterProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(ConverterProperty, InvariantsHoldAcrossRandomBatches) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 97 + 13);
+  const auto trace = topo::synthesize_trace({}, rng);
+  const auto t = topo::Topology::build_tmn(trace.rss, 5, 2, {}, rng);
+  const auto links = t.make_links(true, true);
+  const auto g = topo::ConflictGraph::build(t, links);
+  const domino::SignaturePlan sigs(t.num_nodes());
+  domino::RandScheduler sched(g);
+  const domino::ConverterParams params;
+  domino::ScheduleConverter conv(t, g, sigs, params);
+
+  std::vector<domino::SlotEntry> prev_last;
+  std::uint64_t next_index = 0;
+  for (std::uint64_t batch = 1; batch <= 6; ++batch) {
+    std::vector<std::size_t> demand(g.num_links());
+    for (auto& d : demand) d = static_cast<std::size_t>(rng.uniform_int(0, 3));
+    const auto strict = sched.schedule_batch(demand, 5);
+    if (strict.empty()) continue;
+    std::vector<topo::NodeId> rop;
+    for (topo::NodeId ap : t.aps()) {
+      if (rng.uniform_int(0, 1) == 1) rop.push_back(ap);
+    }
+    const auto rs = conv.convert(strict, prev_last, rop, batch, next_index);
+    ASSERT_EQ(rs.slots.size(), strict.size() + 1);
+
+    // Batch connection: the overlap slot repeats the previous batch's last
+    // slot verbatim, and global indices are contiguous from it.
+    ASSERT_EQ(rs.slots[0].entries.size(), prev_last.size());
+    for (std::size_t i = 0; i < prev_last.size(); ++i) {
+      EXPECT_EQ(rs.slots[0].entries[i].link, prev_last[i].link);
+      EXPECT_EQ(rs.slots[0].entries[i].fake, prev_last[i].fake);
+    }
+    for (std::size_t s = 0; s < rs.slots.size(); ++s) {
+      EXPECT_EQ(rs.slots[s].global_index, next_index + s);
+    }
+
+    for (std::size_t s = 1; s < rs.slots.size(); ++s) {
+      const auto& slot = rs.slots[s];
+      const auto& strict_slot = strict[s - 1];
+
+      // Real entries map back exactly to the strict slot (multiset).
+      std::multiset<topo::LinkId> real, want(strict_slot.begin(),
+                                             strict_slot.end());
+      for (const auto& e : slot.entries) {
+        if (!e.fake) real.insert(e.link);
+      }
+      EXPECT_EQ(real, want) << "batch " << batch << " slot " << s;
+
+      // Fake entries only fill capacity the strict slot left uncovered,
+      // and the whole slot stays independent (fake pairs under the
+      // data-only rule, real pairs under the full rule).
+      for (std::size_t i = 0; i < slot.entries.size(); ++i) {
+        const auto& ei = slot.entries[i];
+        if (ei.fake) EXPECT_EQ(want.count(ei.link), 0u);
+        for (std::size_t j = i + 1; j < slot.entries.size(); ++j) {
+          const auto& ej = slot.entries[j];
+          EXPECT_NE(ei.link, ej.link);
+          if (ei.fake || ej.fake) {
+            EXPECT_FALSE(g.data_conflicts(ei.link, ej.link));
+          } else {
+            EXPECT_FALSE(g.conflicts(ei.link, ej.link));
+          }
+        }
+      }
+    }
+
+    // Trigger budgets at every boundary: in-degree <= max_inbound per
+    // target; out-degree <= max_outbound per via (self-continuations and
+    // in-band instructed continuations cost no signature budget).
+    for (const auto& slot : rs.slots) {
+      std::map<topo::NodeId, int> inbound, outbound;
+      for (const auto& tr : slot.triggers) {
+        ++inbound[tr.target];
+        if (!tr.continuation && tr.via != tr.target) ++outbound[tr.via];
+      }
+      for (const auto& [node, n] : inbound) {
+        EXPECT_LE(n, params.max_inbound) << "target " << node;
+      }
+      for (const auto& [node, n] : outbound) {
+        EXPECT_LE(n, params.max_outbound) << "via " << node;
+      }
+    }
+
+    prev_last = rs.slots.back().entries;
+    next_index = rs.slots.back().global_index;
+  }
+}
+
+TEST_P(ConverterProperty, NoFakeAblationEmitsOnlyRealEntries) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()) * 31 + 7);
+  const auto trace = topo::synthesize_trace({}, rng);
+  const auto t = topo::Topology::build_tmn(trace.rss, 4, 2, {}, rng);
+  const auto links = t.make_links(true, true);
+  const auto g = topo::ConflictGraph::build(t, links);
+  const domino::SignaturePlan sigs(t.num_nodes());
+  domino::RandScheduler sched(g);
+  domino::ConverterParams params;
+  params.insert_fake_links = false;
+  domino::ScheduleConverter conv(t, g, sigs, params);
+
+  std::vector<std::size_t> demand(g.num_links());
+  for (auto& d : demand) d = static_cast<std::size_t>(rng.uniform_int(1, 3));
+  const auto strict = sched.schedule_batch(demand, 5);
+  ASSERT_FALSE(strict.empty());
+  const auto rs = conv.convert(strict, {}, {}, 1, 0);
+  for (std::size_t s = 1; s < rs.slots.size(); ++s) {
+    std::multiset<topo::LinkId> real, want(strict[s - 1].begin(),
+                                           strict[s - 1].end());
+    for (const auto& e : rs.slots[s].entries) {
+      EXPECT_FALSE(e.fake);
+      real.insert(e.link);
+    }
+    EXPECT_EQ(real, want);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConverterProperty, ::testing::Range(1, 9));
 
 // ---- End-to-end conservation properties ------------------------------------
 

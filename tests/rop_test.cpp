@@ -5,11 +5,15 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
+#include <string>
 
+#include "api/experiment.h"
 #include "rop/params.h"
 #include "rop/rop_phy.h"
 #include "rop/rop_protocol.h"
 #include "rop/subchannel_map.h"
+#include "topo/topology.h"
 #include "util/rng.h"
 
 namespace dmn::rop {
@@ -79,6 +83,76 @@ TEST(QueueReport, EncodeCapsAt63) {
   const auto r = encode_queue(100, p);
   EXPECT_EQ(r.reported, 63u);
   EXPECT_EQ(r.unreported, 37u);  // "keep track of unreported packets"
+}
+
+TEST(QueueReport, SaturatesExactlyAtBoundary) {
+  RopParams p;
+  // 6 data bits: 63 is the last exactly-representable length; 64 is the
+  // first saturated one and must carry its remainder forward.
+  EXPECT_EQ(encode_queue(62, p).reported, 62u);
+  EXPECT_EQ(encode_queue(62, p).unreported, 0u);
+  const auto r = encode_queue(64, p);
+  EXPECT_EQ(r.reported, 63u);
+  EXPECT_EQ(r.unreported, 1u);
+}
+
+// ---- Negative paths: layout and capacity guards ----------------------------
+
+TEST(SubchannelMap, RejectsLayoutExceedingHalfSpectrum) {
+  RopParams p;
+  p.guard_per_subchannel = 10;  // block = 16; 12 per side * 16 + 1 > 128
+  try {
+    SubchannelMap map(p);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "SubchannelMap: layout exceeds half spectrum: "
+                  "12 subchannels per side x 16 bins + 1 edge guard > "
+                  "128 bins"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(SubchannelMap, AcceptsTightestFittingLayout) {
+  RopParams p;
+  p.guard_per_subchannel = 4;  // block = 10; 12 * 10 + 1 = 121 <= 128
+  SubchannelMap map(p);
+  EXPECT_EQ(map.num_subchannels(), 24u);
+}
+
+TEST(RopCapacity, DominoRejectsMoreClientsThanSubchannels) {
+  // The AP polls all of its clients in one ROP symbol, one subchannel
+  // each; a 25th client would silently share a subchannel and collide.
+  topo::ManualTopologyBuilder b;
+  const auto ap = b.add_ap();
+  for (int i = 0; i < 25; ++i) b.add_client(ap);
+  api::ExperimentConfig cfg;
+  cfg.scheme = api::Scheme::kDomino;
+  cfg.duration = msec(10);
+  try {
+    api::run_experiment(b.build(), cfg);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find(
+                  "DOMINO: AP " + std::to_string(ap) +
+                  " serves 25 clients but ROP polls at most 24 "
+                  "subchannels per symbol"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RopCapacity, DominoAcceptsExactlyFullSymbol) {
+  topo::ManualTopologyBuilder b;
+  const auto ap = b.add_ap();
+  for (int i = 0; i < 24; ++i) b.add_client(ap);
+  (void)ap;
+  api::ExperimentConfig cfg;
+  cfg.scheme = api::Scheme::kDomino;
+  cfg.duration = msec(50);
+  cfg.traffic.downlink_bps = 1e5;
+  EXPECT_NO_THROW(api::run_experiment(b.build(), cfg));
 }
 
 TEST(Allocator, SortsByRssForAdjacency) {

@@ -182,6 +182,22 @@ TEST_F(ConverterTest, FirstBatchFirstSlotSurvivesWithoutTriggers) {
   EXPECT_FALSE(rs.slots[1].entries.empty());
 }
 
+TEST_F(ConverterTest, ForcedPollOnEmptyOverlapSlotSurvives) {
+  // Single-slot first batch: the greedy ROP pass has no interior boundary
+  // to try, so the poll is force-placed on the (empty) overlap slot.
+  // Regression: trigger assignment used to clear rop_after/rop_aps along
+  // with the empty slot's nonexistent triggers, silently discarding a
+  // demanded poll; the polling AP must instead keep it and self-start.
+  const auto rs =
+      convert_simple({{static_cast<topo::LinkId>(find(0, 4))}}, {2});
+  ASSERT_EQ(rs.slots.size(), 2u);
+  EXPECT_TRUE(rs.slots[0].entries.empty());
+  EXPECT_TRUE(rs.slots[0].triggers.empty());
+  EXPECT_TRUE(rs.slots[0].rop_after);
+  ASSERT_EQ(rs.slots[0].rop_aps.size(), 1u);
+  EXPECT_EQ(rs.slots[0].rop_aps[0], 2);
+}
+
 TEST_F(ConverterTest, BatchConnectionCarriesOverlapSlot) {
   domino::ScheduleConverter conv(topo_, graph_, signatures_);
   const auto rs1 = conv.convert({{static_cast<topo::LinkId>(find(0, 4))}},
