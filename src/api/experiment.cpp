@@ -1,5 +1,7 @@
 #include "api/experiment.h"
 
+#include <chrono>
+#include <cstdlib>
 #include <map>
 
 #include "api/scheme_stack.h"
@@ -7,6 +9,7 @@
 #include "phy/medium.h"
 #include "sim/simulator.h"
 #include "topo/conflict_graph.h"
+#include "topo/partition.h"
 #include "traffic/flow_stats.h"
 #include "traffic/udp_source.h"
 
@@ -26,14 +29,29 @@ const char* to_string(Scheme s) {
 // traffic sources/sinks, flow statistics — and delegates scheme assembly to
 // the SchemeStack selected by the config (see api/scheme_stack.h).
 struct Experiment::Impl {
-  topo::Topology topo;
+  // Borrowed from the caller (run_experiment's argument outlives run()):
+  // the 1000-AP scale topology carries an O(N^2) RSS matrix that must not
+  // be copied per experiment.
+  const topo::Topology& topo;
   ExperimentConfig cfg;
   Rng root;
 
   sim::Simulator sim;
   phy::Medium medium;
 
-  traffic::PacketIdGen ids;
+  // Partitioned kernel state (empty / false on the classic path).
+  topo::Partitioning parts;
+  bool partitioned = false;
+  unsigned threads = 0;
+  /// One restricted Medium per interference partition; `medium` above stays
+  /// unused airtime-wise when partitioned (stacks resolve through
+  /// medium_of()).
+  std::vector<std::unique_ptr<phy::Medium>> part_mediums;
+
+  /// Packet-id lanes: one generator on the classic path (ids 1, 2, 3, ...),
+  /// one per partition with disjoint bases (p << 44) when partitioned.
+  /// Never resized after build_traffic — sources hold references into it.
+  std::vector<traffic::PacketIdGen> id_gens;
   traffic::FlowStats stats;
 
   struct FlowCtx {
@@ -59,9 +77,12 @@ struct Experiment::Impl {
   domino::DominoTrace trace;
 
   // Built only when auditing resolves on (cfg.audit / DMN_AUDIT). The
-  // auditor is strictly passive — no RNG draws, no scheduled events — so
-  // its presence cannot perturb results.
-  std::unique_ptr<audit::SimAuditor> auditor;
+  // auditors are strictly passive — no RNG draws, no scheduled events — so
+  // their presence cannot perturb results. Classic runs build exactly one;
+  // partitioned runs build one per partition plus one for the wired queue,
+  // so every check still runs race-free on its own queue (reports merged at
+  // the end via audit::merge_reports).
+  std::vector<std::unique_ptr<audit::SimAuditor>> auditors;
 
   // Built only when cfg.faults has an active knob: the fault-free path
   // consumes no extra RNG fork and schedules no extra events, keeping its
@@ -74,6 +95,33 @@ struct Experiment::Impl {
 
   Impl(const topo::Topology& t, ExperimentConfig c)
       : topo(t), cfg(std::move(c)), root(cfg.seed), sim(), medium(sim, topo) {}
+
+  /// The medium carrying `node`'s airtime (its partition's on partitioned
+  /// runs, the single shared one otherwise).
+  phy::Medium& medium_of(topo::NodeId node) {
+    return partitioned
+               ? *part_mediums[parts.assignment[static_cast<std::size_t>(node)]]
+               : medium;
+  }
+  /// The auditor owning `node`'s queue (null when auditing is off).
+  audit::SimAuditor* auditor_of(topo::NodeId node) {
+    if (auditors.empty()) return nullptr;
+    return partitioned
+               ? auditors[parts.assignment[static_cast<std::size_t>(node)]]
+                     .get()
+               : auditors[0].get();
+  }
+  /// The auditor owning the wired/controller queue (== auditor_of on the
+  /// classic path; null when auditing is off).
+  audit::SimAuditor* wired_auditor() {
+    return auditors.empty() ? nullptr : auditors.back().get();
+  }
+  /// The packet-id lane for packets generated at `node`.
+  traffic::PacketIdGen& ids_for(topo::NodeId node) {
+    return partitioned
+               ? id_gens[parts.assignment[static_cast<std::size_t>(node)]]
+               : id_gens[0];
+  }
 
   bool tcp() const { return cfg.traffic.kind == TrafficKind::kTcp; }
   bool want_downlink() const {
@@ -103,7 +151,8 @@ struct Experiment::Impl {
     if (at != p.dst) return;
     // TCP ACKs are reverse-path control enqueued outside the offered-packet
     // hook; the conservation ledger tracks generated data packets only.
-    if (auditor && !p.tcp_is_ack) auditor->on_delivered(p, at, now);
+    audit::SimAuditor* aud = auditor_of(at);
+    if (aud && !p.tcp_is_ack) aud->on_delivered(p, at, now);
     if (tcp()) {
       if (p.tcp_is_ack) {
         const auto it = tcp_senders.find(p.flow);
@@ -151,29 +200,38 @@ struct Experiment::Impl {
   void build_traffic() {
     for (const FlowCtx& fc : flows) {
       mac::MacEntity* src_mac = macs[static_cast<std::size_t>(fc.flow.src)];
-      auto enqueue = [this, src_mac](traffic::Packet p) {
+      // Source events (and everything they offer) belong to the source
+      // node's queue; the Scope below pins construction-time scheduling
+      // there. The per-source auditor is resolved once, by source node.
+      audit::SimAuditor* aud = auditor_of(fc.flow.src);
+      auto enqueue = [this, src_mac, aud](traffic::Packet p) {
         stats.record_offered(p.flow);
-        if (!auditor) return src_mac->enqueue(std::move(p));
-        auditor->on_offered(p);
+        if (!aud) return src_mac->enqueue(std::move(p));
+        aud->on_offered(p);
         const traffic::PacketId id = p.id;
         const traffic::FlowId flow = p.flow;
         const bool accepted = src_mac->enqueue(std::move(p));
-        if (!accepted) auditor->on_offer_rejected(id, flow);
+        if (!accepted) aud->on_offer_rejected(id, flow);
         return accepted;
       };
       if (tcp()) {
         traffic::TcpParams tp = cfg.tcp;
         tp.mss_bytes = cfg.traffic.packet_bytes;
         tp.app_rate_bps = fc.saturate ? 0.0 : fc.rate_bps;
+        // Pre-register the accounting slot so concurrent record_* calls
+        // from partition queues never mutate the map structure.
+        stats.ensure_flow(fc.flow.id);
+        sim::Simulator::Scope scope(
+            sim, sim.queue_of_node(static_cast<std::size_t>(fc.flow.src)));
         auto sender = std::make_unique<traffic::TcpSender>(
-            sim, fc.flow, tp, ids, enqueue);
+            sim, fc.flow, tp, ids_for(fc.flow.src), enqueue);
         mac::MacEntity* dst_mac =
             macs[static_cast<std::size_t>(fc.flow.dst)];
         auto send_ack = [this, dst_mac](traffic::Packet p) {
           return dst_mac->enqueue(std::move(p));
         };
         auto receiver = std::make_unique<traffic::TcpReceiver>(
-            fc.flow, tp, ids, send_ack,
+            fc.flow, tp, ids_for(fc.flow.src), send_ack,
             [this](const traffic::Packet& p) {
               stats.record_delivery(p, sim.now());
             });
@@ -186,8 +244,12 @@ struct Experiment::Impl {
         const double rate =
             fc.saturate ? 3.0 * cfg.wifi.data_rate_bps : fc.rate_bps;
         if (rate <= 0.0) continue;
+        stats.ensure_flow(fc.flow.id);
+        sim::Simulator::Scope scope(
+            sim, sim.queue_of_node(static_cast<std::size_t>(fc.flow.src)));
         auto src = std::make_unique<traffic::UdpSource>(
-            sim, fc.flow, rate, cfg.traffic.packet_bytes, ids, enqueue);
+            sim, fc.flow, rate, cfg.traffic.packet_bytes,
+            ids_for(fc.flow.src), enqueue);
         src->start(usec(root.uniform(0, 1000)));
         udp_sources.push_back(std::move(src));
       }
@@ -198,53 +260,102 @@ struct Experiment::Impl {
     if (cfg.record_timeline) {
       timeline = std::make_shared<TimelineRecorder>();
     }
-    // The trace fans out to the timeline recorder and/or the auditor;
+    // The trace fans out to the timeline recorder and/or the auditors;
     // hooks stay unset (and cost nothing) when neither consumer wants them.
-    if (timeline || auditor) {
+    // Trace callbacks fire on the emitting node's queue, so each is routed
+    // to that node's (partition's) auditor.
+    const bool audited = !auditors.empty();
+    if (timeline || audited) {
       trace.on_data_tx = [this](std::uint64_t slot, topo::NodeId s,
                                 topo::NodeId r, TimeNs t, bool fake,
                                 bool uplink) {
         if (timeline) timeline->record_tx(slot, s, r, t, fake, uplink);
-        if (auditor) auditor->on_data_tx(slot, s, r, t, fake, uplink);
+        if (audit::SimAuditor* a = auditor_of(s)) {
+          a->on_data_tx(slot, s, r, t, fake, uplink);
+        }
       };
       trace.on_poll = [this](std::uint64_t slot, topo::NodeId ap, TimeNs t) {
         if (timeline) timeline->record_poll(slot, ap, t);
-        if (auditor) auditor->on_poll(slot, ap, t);
+        if (audit::SimAuditor* a = auditor_of(ap)) a->on_poll(slot, ap, t);
       };
     }
-    if (auditor) {
+    if (audited) {
       trace.on_trigger = [this](std::uint64_t tag, topo::NodeId n, TimeNs t) {
-        auditor->on_trigger(tag, n, t);
+        auditor_of(n)->on_trigger(tag, n, t);
       };
       trace.on_continuation = [this](std::uint64_t slot, topo::NodeId n,
                                      TimeNs t) {
-        auditor->on_continuation(slot, n, t);
+        auditor_of(n)->on_continuation(slot, n, t);
       };
     }
 
-    stack = SchemeStackRegistry::instance().create(
-        cfg.effective_scheme_name());
+    // The stack object itself is created early in run() (its
+    // supports_partitioning() gates the kernel choice); here we assemble it.
     StackContext ctx{sim,
                      medium,
+                     [this](topo::NodeId n) -> phy::Medium& {
+                       return medium_of(n);
+                     },
                      topo,
                      cfg,
                      *graph,
                      root,
                      delivery_fn(),
-                     (timeline || auditor) ? &trace : nullptr,
+                     (timeline || audited) ? &trace : nullptr,
                      injector.get(),
-                     auditor.get()};
+                     wired_auditor()};
     macs.assign(topo.num_nodes(), nullptr);
     stack->build(ctx, macs);
-    if (auditor) auditor->attach_macs(macs);
+    for (auto& a : auditors) a->attach_macs(macs);
   }
 
   ExperimentResult run() {
+    const auto wall_start = std::chrono::steady_clock::now();
     build_flows();
     const auto links = topo.make_links(graph_downlink(), graph_uplink());
     graph = std::make_unique<topo::ConflictGraph>(
         topo::ConflictGraph::build(topo, links));
 
+    // The stack object is created (not yet built) before the kernel choice:
+    // a stack that couples nodes outside the audible graph (Omniscient's
+    // oracle) vetoes partitioning.
+    stack = SchemeStackRegistry::instance().create(
+        cfg.effective_scheme_name());
+
+    // Partitioned kernel: split the run into interference components when
+    // the resolved thread count asks for it and the run is eligible.
+    // Timeline recording keeps the classic kernel (the recorder is a single
+    // shared sink); single-component topologies gain nothing.
+    threads = resolve_sim_threads(cfg);
+    if (threads > 0 && stack->supports_partitioning() &&
+        !cfg.record_timeline) {
+      topo::Partitioning p = topo::compute_partitions(topo);
+      if (p.count >= 2) {
+        parts = std::move(p);
+        sim.configure_partitions(parts.assignment, parts.count,
+                                 cfg.backbone.min_latency, threads);
+        partitioned = true;
+        part_mediums.reserve(parts.count);
+        for (std::uint32_t q = 0; q < parts.count; ++q) {
+          auto m = std::make_unique<phy::Medium>(sim, topo);
+          m->restrict_to_nodes(parts.members_of(q));
+          part_mediums.push_back(std::move(m));
+        }
+      }
+    }
+
+    // Packet-id lanes (sources hold references; sized once, never resized).
+    if (partitioned) {
+      id_gens.reserve(parts.count);
+      for (std::uint32_t q = 0; q < parts.count; ++q) {
+        id_gens.emplace_back(static_cast<traffic::PacketId>(q) << 44);
+      }
+    } else {
+      id_gens.emplace_back();
+    }
+
+    // The injector forks per-queue RNG lanes in its constructor, so it must
+    // be built after configure_partitions.
     if (cfg.faults.any()) {
       injector = std::make_unique<fault::FaultInjector>(
           sim, topo.num_nodes(), cfg.faults, root.fork());
@@ -259,26 +370,55 @@ struct Experiment::Impl {
       as.insert_fake_links = cfg.converter.insert_fake_links;
       as.rop_max_report = static_cast<unsigned>(cfg.rop.max_queue_report());
       as.signature_forging = cfg.faults.signature.false_positive_rate > 0.0;
-      auditor = std::make_unique<audit::SimAuditor>(sim, topo, audit_mode, as);
-      auditor->attach_medium(medium);
-      auditor->attach_graph(*graph);
+      // One auditor per event queue (partitions + wired) so checks stay
+      // race-free; the classic path keeps the single historical instance.
+      const std::size_t n_auditors = partitioned ? parts.count + 1 : 1;
+      auditors.reserve(n_auditors);
+      for (std::size_t i = 0; i < n_auditors; ++i) {
+        auditors.push_back(
+            std::make_unique<audit::SimAuditor>(sim, topo, audit_mode, as));
+        auditors.back()->attach_graph(*graph);
+      }
+      if (partitioned) {
+        for (std::uint32_t q = 0; q < parts.count; ++q) {
+          auditors[q]->attach_medium(*part_mediums[q]);
+        }
+      } else {
+        auditors[0]->attach_medium(medium);
+      }
     }
     if (cfg.audit.mutation == audit::Mutation::kMediumLeakPower) {
       medium.set_test_power_leak(true);
+      for (auto& m : part_mediums) m->set_test_power_leak(true);
     }
 
     build_stack();
     build_traffic();
-    if (injector) injector->arm_medium(medium, cfg.duration);
+    if (injector) {
+      if (partitioned) {
+        std::vector<phy::Medium*> mediums;
+        mediums.reserve(part_mediums.size());
+        for (auto& m : part_mediums) mediums.push_back(m.get());
+        injector->arm_mediums(mediums, cfg.duration);
+      } else {
+        injector->arm_medium(medium, cfg.duration);
+      }
+    }
 
     sim.set_interrupt_flag(cancel);
     sim.set_event_budget(max_events);
+    const auto wall_loop = std::chrono::steady_clock::now();
     sim.run_until(cfg.duration);
+    const auto wall_end = std::chrono::steady_clock::now();
     if (sim.interrupted()) {
       throw ExperimentInterrupted(sim.now(), sim.events_executed());
     }
 
     ExperimentResult result;
+    result.wall_setup_seconds =
+        std::chrono::duration<double>(wall_loop - wall_start).count();
+    result.wall_run_seconds =
+        std::chrono::duration<double>(wall_end - wall_loop).count();
     result.census = topo::classify_pairs(topo, links);
     std::vector<double> xs;
     for (const FlowCtx& fc : flows) {
@@ -295,9 +435,11 @@ struct Experiment::Impl {
         stats.aggregate_throughput_bps(cfg.duration);
     result.jain_fairness = traffic::FlowStats::jain_index(xs);
     result.mean_delay_us = stats.mean_delay_us_all();
+    result.events_executed = sim.events_executed();
+    result.sim_partitions = partitioned ? parts.count : 1;
     stack->collect(result);
     if (injector) {
-      const fault::FaultCounters& fc = injector->counters();
+      const fault::FaultCounters fc = injector->counters();
       result.fault_backbone_drops = fc.backbone_drops;
       result.fault_backbone_dups = fc.backbone_dups;
       result.fault_backbone_spikes = fc.backbone_spikes;
@@ -307,13 +449,31 @@ struct Experiment::Impl {
       result.fault_forced_false_positives = fc.forced_trigger_false_positives;
     }
     result.timeline = timeline;
-    if (auditor) {
-      auditor->finalize();
-      result.audit = auditor->report();
+    if (!auditors.empty()) {
+      std::vector<std::shared_ptr<const audit::AuditReport>> reports;
+      reports.reserve(auditors.size());
+      for (auto& a : auditors) {
+        a->finalize();
+        reports.push_back(a->report());
+      }
+      result.audit =
+          reports.size() == 1
+              ? reports[0]
+              : std::make_shared<const audit::AuditReport>(
+                    audit::merge_reports(reports));
     }
     return result;
   }
 };
+
+unsigned resolve_sim_threads(const ExperimentConfig& cfg) {
+  if (cfg.sim_threads > 0) return static_cast<unsigned>(cfg.sim_threads);
+  if (cfg.sim_threads < 0) return 0;
+  const char* env = std::getenv("DMN_SIM_THREADS");
+  if (env == nullptr || *env == '\0') return 0;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<unsigned>(v) : 0;
+}
 
 ExperimentInterrupted::ExperimentInterrupted(TimeNs sim_time,
                                              std::uint64_t events)

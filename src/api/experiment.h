@@ -89,6 +89,22 @@ struct ExperimentConfig {
 
   bool record_timeline = false;
 
+  /// Partitioned simulation kernel (src/sim, src/topo/partition.h).
+  ///   0   consult the DMN_SIM_THREADS environment variable; unset / 0 /
+  ///       unparsable keeps the classic single-queue kernel;
+  ///   >=1 partition the run into interference components and execute them
+  ///       on up to this many worker threads. Results are byte-stable
+  ///       across every value >= 1 (the merge order of cross-partition
+  ///       events is deterministic), but the partitioned family is a
+  ///       documented, deliberate deviation from the single-queue kernel
+  ///       (per-queue RNG lanes, per-partition mediums), so hash_config
+  ///       folds in *whether* partitioning is on — never the thread count;
+  ///   <0  force the classic kernel regardless of the environment.
+  /// Stacks that can't run partitioned (SchemeStack::supports_partitioning()
+  /// == false), timeline recording, and single-component topologies all fall
+  /// back to the classic kernel automatically.
+  int sim_threads = 0;
+
   /// The registry key this config resolves to: `scheme_name` when set,
   /// otherwise the enum's canonical name.
   std::string effective_scheme_name() const {
@@ -135,5 +151,10 @@ class Experiment {
 /// Convenience wrapper.
 ExperimentResult run_experiment(const topo::Topology& topology,
                                 const ExperimentConfig& config);
+
+/// The worker-thread count `cfg.sim_threads` resolves to: an explicit
+/// positive value wins, a negative value forces 0 (classic kernel), and 0
+/// defers to DMN_SIM_THREADS. 0 means "do not partition".
+unsigned resolve_sim_threads(const ExperimentConfig& cfg);
 
 }  // namespace dmn::api

@@ -73,6 +73,18 @@ struct ExperimentResult {
   std::uint64_t fault_forced_trigger_losses = 0;
   std::uint64_t fault_forced_false_positives = 0;
 
+  /// Simulation-kernel diagnostics: total events executed and how many
+  /// interference partitions the run used (1 = classic single-queue
+  /// kernel). Like `timeline`/`audit`, deliberately NOT serialized by
+  /// serialize_result — results must stay byte-stable across thread counts.
+  std::uint64_t events_executed = 0;
+  std::uint32_t sim_partitions = 1;
+  /// Wall-clock split of run(): substrate assembly (conflict graph, stacks,
+  /// traffic) vs the event loop itself — the denominator for kernel
+  /// events/sec comparisons (bench/bench_scale.cpp).
+  double wall_setup_seconds = 0.0;
+  double wall_run_seconds = 0.0;
+
   /// Present when the config asked for timeline recording (DOMINO only).
   std::shared_ptr<TimelineRecorder> timeline;
 

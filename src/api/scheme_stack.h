@@ -55,6 +55,11 @@ struct ExperimentResult;
 struct StackContext {
   sim::Simulator& sim;
   phy::Medium& medium;
+  /// Medium carrying `node`'s airtime. Equal to `medium` for every node in
+  /// a single-kernel run; under the partitioned kernel each interference
+  /// partition has its own Medium and MAC entities must attach to (and
+  /// transmit on) their node's. Always non-null.
+  std::function<phy::Medium&(topo::NodeId)> medium_of;
   const topo::Topology& topo;
   const ExperimentConfig& cfg;
   /// Conflict graph over the directions the traffic spec exercises.
@@ -91,6 +96,13 @@ class SchemeStack {
   /// Accumulate scheme-specific counters (ACK timeouts, drops, DOMINO
   /// diagnostics, ...) into the result after the simulation ran.
   virtual void collect(ExperimentResult& result) const = 0;
+
+  /// Whether this stack is safe to run on the partitioned kernel (per-node
+  /// state confined to its node's partition, controller state to the wired
+  /// queue, all cross-partition traffic via the backbone). Stacks with
+  /// global synchronous coupling (the omniscient oracle) return false and
+  /// always run on the single-queue kernel.
+  virtual bool supports_partitioning() const { return true; }
 };
 
 using SchemeStackFactory = std::function<std::unique_ptr<SchemeStack>()>;

@@ -5,6 +5,7 @@
 #include "api/experiment.h"
 #include "api/metrics.h"
 #include "fault/fault_injector.h"
+#include "sim/simulator.h"
 
 namespace dmn::api {
 
@@ -27,6 +28,9 @@ void CentaurStack::build(StackContext& ctx,
   controller_ = std::make_unique<centaur::CentaurController>(
       ctx.sim, *backbone_, *downlink_graph_, ctx.cfg.centaur,
       std::move(ap_macs));
+  // Controller logic (batch planning, epoch barrier) lives on the wired
+  // queue; releases and completion reports route through the backbone.
+  sim::Simulator::Scope scope(ctx.sim, ctx.sim.wired_queue_index());
   controller_->start(usec(100));
 }
 

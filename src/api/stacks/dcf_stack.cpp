@@ -2,14 +2,19 @@
 
 #include "api/experiment.h"
 #include "api/metrics.h"
+#include "sim/simulator.h"
 
 namespace dmn::api {
 
 void DcfStack::build(StackContext& ctx, std::vector<mac::MacEntity*>& macs) {
   for (const topo::Node& n : ctx.topo.nodes()) {
-    auto node = std::make_unique<mac::DcfNode>(ctx.sim, ctx.medium, n.id,
-                                               ctx.cfg.wifi, ctx.rng.fork(),
-                                               ctx.deliver);
+    // Build on the node's partition queue so any construction-time
+    // self-scheduling lands with the node, and attach to its medium.
+    sim::Simulator::Scope scope(ctx.sim, ctx.sim.queue_of_node(
+                                             static_cast<std::size_t>(n.id)));
+    auto node = std::make_unique<mac::DcfNode>(ctx.sim, ctx.medium_of(n.id),
+                                               n.id, ctx.cfg.wifi,
+                                               ctx.rng.fork(), ctx.deliver);
     macs[static_cast<std::size_t>(n.id)] = node.get();
     nodes_.push_back(std::move(node));
   }

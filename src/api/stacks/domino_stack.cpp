@@ -70,11 +70,16 @@ void DominoStack::build(StackContext& ctx,
     for (topo::NodeId c : clients) rss.push_back(topo.rss(ap, c));
     const auto assigns = alloc.assign(clients, rss);
 
+    // Reports ride the backbone to the controller's (wired) queue.
     auto report_fn = [this](const domino::ApReport& rep) {
-      backbone_->send([this, rep] { controller_->on_ap_report(rep); });
+      backbone_->send_to_wired([this, rep] { controller_->on_ap_report(rep); });
     };
+    // Build on the AP's partition queue so outage events and any
+    // construction-time self-scheduling land with the AP.
+    sim::Simulator::Scope scope(
+        ctx.sim, ctx.sim.queue_of_node(static_cast<std::size_t>(ap)));
     auto node = std::make_unique<domino::DominoApMac>(
-        ctx.sim, ctx.medium, ap, timing, *signatures_, cfg.sig_model,
+        ctx.sim, ctx.medium_of(ap), ap, timing, *signatures_, cfg.sig_model,
         cfg.rop, ctx.rng.fork(), ctx.deliver, report_fn, ctx.trace);
     std::vector<domino::DominoApMac::ClientInfo> infos;
     for (const auto& a : assigns) {
@@ -110,8 +115,10 @@ void DominoStack::build(StackContext& ctx,
           std::to_string(topo.node(c).ap) +
           ") received no ROP subchannel assignment");
     }
+    sim::Simulator::Scope scope(
+        ctx.sim, ctx.sim.queue_of_node(static_cast<std::size_t>(c)));
     auto node = std::make_unique<domino::DominoClientMac>(
-        ctx.sim, ctx.medium, c, topo.node(c).ap, sc->second, timing,
+        ctx.sim, ctx.medium_of(c), c, topo.node(c).ap, sc->second, timing,
         *signatures_, cfg.sig_model, ctx.rng.fork(), ctx.deliver, ctx.trace);
     if (ctx.faults != nullptr) {
       node->set_faults(ctx.faults);
@@ -137,6 +144,10 @@ void DominoStack::build(StackContext& ctx,
     return it == ap_map.end() ? std::size_t{0}
                               : it->second->queued_for(l.receiver);
   });
+  // The controller lives on the wired queue; under the partitioned kernel
+  // it runs at window barriers, where its synchronous downlink peeks of AP
+  // MAC queues are race-free (at most one lookahead stale).
+  sim::Simulator::Scope scope(ctx.sim, ctx.sim.wired_queue_index());
   controller_->start(usec(100));
 }
 

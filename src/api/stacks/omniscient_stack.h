@@ -17,6 +17,11 @@ class OmniscientStack : public SchemeStack {
   void build(StackContext& ctx, std::vector<mac::MacEntity*>& macs) override;
   void collect(ExperimentResult& result) const override;
 
+  /// The oracle scheduler drives every node synchronously from one global
+  /// TDMA clock — inherently cross-partition — so it always runs on the
+  /// single-queue kernel.
+  bool supports_partitioning() const override { return false; }
+
  private:
   std::vector<std::unique_ptr<omni::OmniNodeMac>> nodes_;
   std::unique_ptr<omni::OmniscientScheduler> scheduler_;

@@ -670,6 +670,13 @@ void hash_config(Hasher& h, const ExperimentConfig& c) {
   }
 
   h.boolean(c.record_timeline);
+
+  // Whether the run is eligible for the partitioned kernel — the
+  // partitioned family is a documented deviation from the classic kernel
+  // (per-queue RNG lanes, per-partition mediums), so it hashes as a
+  // distinct config. The thread count itself is deliberately excluded:
+  // results are byte-stable across every thread count >= 1.
+  h.boolean(resolve_sim_threads(c) > 0);
 }
 
 }  // namespace

@@ -51,6 +51,24 @@ std::string AuditReport::summary() const {
   return os.str();
 }
 
+AuditReport merge_reports(
+    const std::vector<std::shared_ptr<const AuditReport>>& parts) {
+  AuditReport out;
+  for (const auto& part : parts) {
+    if (part == nullptr) continue;
+    out.checks_run += part->checks_run;
+    out.total_violations += part->total_violations;
+    for (const auto& [inv, n] : part->violations_by_invariant) {
+      out.violations_by_invariant[inv] += n;
+    }
+    for (const AuditRecord& r : part->records) {
+      if (out.records.size() >= AuditReport::kMaxStored) break;
+      out.records.push_back(r);
+    }
+  }
+  return out;
+}
+
 AuditViolation::AuditViolation(const std::string& inv,
                                const std::string& detail, TimeNs t)
     : std::runtime_error("audit: " + inv + " violated at t=" +
@@ -99,21 +117,46 @@ void SimAuditor::check(bool ok, const char* invariant,
 
 void SimAuditor::check_medium_sums() {
   const std::size_t n = scratch_inbound_.size();
-  std::fill(scratch_inbound_.begin(), scratch_inbound_.end(), 0.0);
-  std::fill(scratch_rop_.begin(), scratch_rop_.end(), 0.0);
-  std::fill(scratch_txcount_.begin(), scratch_txcount_.end(), 0);
+  // A partition-restricted medium only maintains sums for its member nodes
+  // (power elsewhere is sub-audible and dropped): recompute and compare
+  // exactly the set it maintains, so an audited partitioned run keeps the
+  // kernel's O(partition) per-transmission cost instead of O(all nodes).
+  const std::vector<topo::NodeId>& members = medium_->member_nodes();
+  if (members.empty()) {
+    std::fill(scratch_inbound_.begin(), scratch_inbound_.end(), 0.0);
+    std::fill(scratch_rop_.begin(), scratch_rop_.end(), 0.0);
+    std::fill(scratch_txcount_.begin(), scratch_txcount_.end(), 0);
+  } else {
+    for (const topo::NodeId m : members) {
+      const auto i = static_cast<std::size_t>(m);
+      scratch_inbound_[i] = 0.0;
+      scratch_rop_[i] = 0.0;
+      scratch_txcount_[i] = 0;
+    }
+  }
   medium_->visit_active_tx([&](const phy::Frame& f, TimeNs, TimeNs,
                                bool rop) {
     const auto row = topo_.rss_mw_row(f.src);
-    for (std::size_t i = 0; i < n; ++i) scratch_inbound_[i] += row[i];
-    if (rop) {
-      for (std::size_t i = 0; i < n; ++i) scratch_rop_[i] += row[i];
+    if (members.empty()) {
+      for (std::size_t i = 0; i < n; ++i) scratch_inbound_[i] += row[i];
+      if (rop) {
+        for (std::size_t i = 0; i < n; ++i) scratch_rop_[i] += row[i];
+      }
+    } else {
+      for (const topo::NodeId m : members) {
+        const auto i = static_cast<std::size_t>(m);
+        scratch_inbound_[i] += row[i];
+        if (rop) scratch_rop_[i] += row[i];
+      }
     }
     ++scratch_txcount_[static_cast<std::size_t>(f.src)];
   });
 
   ++report_->checks_run;
-  for (std::size_t i = 0; i < n; ++i) {
+  const std::size_t checked = members.empty() ? n : members.size();
+  for (std::size_t k = 0; k < checked; ++k) {
+    const std::size_t i =
+        members.empty() ? k : static_cast<std::size_t>(members[k]);
     const auto id = static_cast<topo::NodeId>(i);
     const double inc = medium_->inbound_mw(id);
     const double scr = scratch_inbound_[i];

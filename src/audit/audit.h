@@ -129,6 +129,13 @@ struct AuditReport {
   std::string summary() const;
 };
 
+/// Merges per-queue reports (a partitioned run builds one auditor per event
+/// queue so every invariant is still checked, race-free, on its own queue)
+/// into one summary: counters sum, stored records concatenate in queue
+/// order up to kMaxStored.
+AuditReport merge_reports(
+    const std::vector<std::shared_ptr<const AuditReport>>& parts);
+
 /// Thrown (in kThrow mode) at the first violated invariant.
 class AuditViolation : public std::runtime_error {
  public:

@@ -48,26 +48,29 @@ void CentaurController::plan_batch() {
         std::min(params_.quota, demand[static_cast<std::size_t>(l)]);
     // Dispatch travels the jittery backbone, so batch members start at
     // slightly different times — CENTAUR relies on carrier sensing plus the
-    // fixed backoff to re-align them.
-    backbone_.send([this, l, quota] { release_link(l, quota); });
+    // fixed backoff to re-align them. Routed to the AP's partition queue.
+    const topo::NodeId ap = graph_.link(l).sender;
+    backbone_.send_to_node(ap, [this, l, quota] { release_link(l, quota); });
   }
 }
 
 void CentaurController::release_link(topo::LinkId link, std::size_t quota) {
+  // Runs on the AP's partition queue (release rides the backbone), so it
+  // must only touch AP-side state: the remaining quota lives in the outcome
+  // hook itself, not in a controller-side map.
   const topo::Link& l = graph_.link(link);
   mac::DcfNode* ap = ap_macs_.at(l.sender);
-  remaining_quota_[link] = quota;
+  auto left = std::make_shared<std::size_t>(quota);
   ap->set_dest_filter(l.receiver);
   ap->set_outcome_hook(
-      [this, link, ap](const traffic::Packet&, bool /*success*/) {
-        auto& left = remaining_quota_[link];
-        if (left > 0) --left;
+      [this, link, ap, left](const traffic::Packet&, bool /*success*/) {
+        if (*left > 0) --*left;
         const topo::Link& lk = graph_.link(link);
-        if (left == 0 || ap->queued_for(lk.receiver) == 0) {
+        if (*left == 0 || ap->queued_for(lk.receiver) == 0) {
           ap->set_service_enabled(false);
           ap->set_outcome_hook(nullptr);
           // Completion report rides the backbone back to the controller.
-          backbone_.send([this, link] { link_finished(link); });
+          backbone_.send_to_wired([this, link] { link_finished(link); });
         }
       });
   ap->set_service_enabled(true);

@@ -62,7 +62,6 @@ class CentaurController {
   domino::RandScheduler rand_;
 
   std::size_t outstanding_ = 0;  // links in flight in the current batch
-  std::map<topo::LinkId, std::size_t> remaining_quota_;
   std::uint64_t batches_ = 0;
 };
 

@@ -96,7 +96,9 @@ void DominoController::plan_batch() {
   if (dispatch_) {
     for (const ApSchedule& plan : converter_.make_ap_plans(rs)) {
       if (plan.slots.empty()) continue;
-      backbone_.send([this, plan] { dispatch_(plan); });
+      // Routed to the AP's partition queue; the dispatch closure only
+      // touches that AP's MAC (the controller-side state stays here).
+      backbone_.send_to_node(plan.ap, [this, plan] { dispatch_(plan); });
     }
   }
 

@@ -19,50 +19,110 @@ FaultInjector::FaultInjector(sim::Simulator& sim, std::size_t num_nodes,
       s = rng_.uniform(-plan_.clock.max_skew_ppm, plan_.clock.max_skew_ppm);
     }
   }
+  std::size_t lanes = 1;
+  if (sim_.partitioned()) {
+    lanes = sim_.partition_count() + 1;  // + wired queue
+    lane_rngs_.reserve(lanes);
+    for (std::size_t i = 0; i < lanes; ++i) lane_rngs_.push_back(rng_.fork());
+  }
+  lane_counters_.resize(lanes);
+}
+
+Rng& FaultInjector::lane_rng() {
+  if (lane_rngs_.empty()) return rng_;
+  return lane_rngs_[sim_.active_queue_index()];
+}
+
+FaultCounters& FaultInjector::lane_counters() {
+  if (lane_counters_.size() == 1) return lane_counters_[0];
+  return lane_counters_[sim_.active_queue_index()];
+}
+
+FaultCounters FaultInjector::counters() const {
+  FaultCounters out;
+  for (const FaultCounters& c : lane_counters_) {
+    out.backbone_drops += c.backbone_drops;
+    out.backbone_dups += c.backbone_dups;
+    out.backbone_spikes += c.backbone_spikes;
+    out.interference_bursts += c.interference_bursts;
+    out.controller_outage_skips += c.controller_outage_skips;
+    out.forced_trigger_losses += c.forced_trigger_losses;
+    out.forced_trigger_false_positives += c.forced_trigger_false_positives;
+  }
+  return out;
+}
+
+void FaultInjector::note_controller_outage_skip() {
+  ++lane_counters().controller_outage_skips;
+}
+
+bool FaultInjector::forge_trigger(Rng& node_rng) {
+  if (!node_rng.chance(plan_.signature.false_positive_rate)) return false;
+  ++lane_counters().forced_trigger_false_positives;
+  return true;
+}
+
+void FaultInjector::note_trigger_loss() {
+  ++lane_counters().forced_trigger_losses;
 }
 
 wired::DeliveryMod FaultInjector::backbone_delivery() {
   wired::DeliveryMod mod;
   const BackboneFaults& bf = plan_.backbone;
-  if (rng_.chance(bf.drop_rate)) {
+  Rng& rng = lane_rng();
+  FaultCounters& counters = lane_counters();
+  if (rng.chance(bf.drop_rate)) {
     mod.copies = 0;
-    ++counters_.backbone_drops;
+    ++counters.backbone_drops;
     return mod;
   }
-  if (rng_.chance(bf.dup_rate)) {
+  if (rng.chance(bf.dup_rate)) {
     mod.copies = 2;
-    ++counters_.backbone_dups;
+    ++counters.backbone_dups;
   }
-  if (rng_.chance(bf.spike_rate)) {
+  if (rng.chance(bf.spike_rate)) {
     mod.extra_latency = bf.spike_extra;
-    ++counters_.backbone_spikes;
+    ++counters.backbone_spikes;
   }
   return mod;
 }
 
 void FaultInjector::arm_medium(phy::Medium& medium, TimeNs duration) {
+  arm_mediums({&medium}, duration);
+}
+
+void FaultInjector::arm_mediums(const std::vector<phy::Medium*>& mediums,
+                                TimeNs duration) {
   const InterferenceFaults& intf = plan_.interference;
-  if (!intf.any() || intf.period <= 0) return;
-  // Random burst phase, then a self-rescheduling on/off chain: one pending
-  // event at a time regardless of run length.
+  if (!intf.any() || intf.period <= 0 || mediums.empty()) return;
+  // Random burst phase (one draw, identical whether the run is partitioned
+  // or not), then a self-rescheduling on/off chain per medium: one pending
+  // event at a time per chain regardless of run length. Each chain lives on
+  // its medium's partition queue; the environment-wide interferer is
+  // counted once, on the first chain.
   const TimeNs phase = static_cast<TimeNs>(
       rng_.uniform(0.0, static_cast<double>(intf.period)));
-  schedule_burst(medium, phase, duration);
+  for (std::size_t i = 0; i < mediums.size(); ++i) {
+    sim::Simulator::Scope scope(sim_, static_cast<std::uint32_t>(i));
+    schedule_burst(*mediums[i], phase, duration, /*count_bursts=*/i == 0);
+  }
 }
 
 void FaultInjector::schedule_burst(phy::Medium& medium, TimeNs at,
-                                   TimeNs until) {
+                                   TimeNs until, bool count_bursts) {
   if (at > until) return;
   const TimeNs on_time = static_cast<TimeNs>(
       plan_.interference.duty * static_cast<double>(plan_.interference.period));
   const TimeNs period = plan_.interference.period;
   const double mw = dbm_to_mw(plan_.interference.power_dbm);
-  sim_.post_at(at, [this, &medium, on_time, period, mw, until] {
-    ++counters_.interference_bursts;
+  sim_.post_at(at, [this, &medium, on_time, period, mw, until, count_bursts] {
+    if (count_bursts) ++lane_counters().interference_bursts;
     medium.set_external_interference_mw(mw);
-    sim_.post_in(on_time, [this, &medium, period, on_time, until] {
+    sim_.post_in(on_time, [this, &medium, period, on_time, until,
+                           count_bursts] {
       medium.set_external_interference_mw(0.0);
-      schedule_burst(medium, sim_.now() - on_time + period, until);
+      schedule_burst(medium, sim_.now() - on_time + period, until,
+                     count_bursts);
     });
   });
 }

@@ -8,10 +8,14 @@
 // was actually injected — benches and tests read them back through
 // ExperimentResult.
 //
-// Thread safety: an injector belongs to exactly one Experiment (one
-// Simulator, one thread at a time), like every other per-experiment
-// component. Sweep points never share injectors, which is what keeps
-// 1-thread and N-thread sweep results bit-identical.
+// Thread safety: an injector belongs to exactly one Experiment. Under the
+// partitioned kernel its decisions are taken from every event queue, so
+// both the RNG streams and the counters are striped into per-queue lanes
+// (node partitions + the wired queue): each lane is only touched by its
+// queue's executing thread, and counters() merges the lanes on read. The
+// lane split is what keeps 1-thread and N-thread results bit-identical —
+// a fault decision consumes randomness from the lane of the queue that
+// asked, a pure function of that queue's event stream.
 
 #include <cstdint>
 #include <vector>
@@ -55,11 +59,16 @@ class FaultInjector {
   /// before the simulation starts, so every scheme sees identical bursts.
   void arm_medium(phy::Medium& medium, TimeNs duration);
 
+  /// Partitioned runs: replicates the burst chain onto every partition's
+  /// medium (same phase, drawn once) so each partition sees the identical
+  /// external interferer. Bursts are counted once (on the first chain).
+  void arm_mediums(const std::vector<phy::Medium*>& mediums, TimeNs duration);
+
   // ---- backbone ----------------------------------------------------------
 
   /// Delivery hook for wired::Backbone::set_fault_hook. Decides drop /
   /// duplicate / latency spike for one message, consuming injector RNG in
-  /// event order.
+  /// event order (of the asking queue's lane).
   wired::DeliveryMod backbone_delivery();
 
   // ---- controller --------------------------------------------------------
@@ -69,7 +78,7 @@ class FaultInjector {
   TimeNs controller_up_at(TimeNs now) const {
     return plan_.controller.up_at(now);
   }
-  void note_controller_outage_skip() { ++counters_.controller_outage_skips; }
+  void note_controller_outage_skip();
 
   // ---- signature detection ----------------------------------------------
 
@@ -84,12 +93,8 @@ class FaultInjector {
   }
   /// True when `node` should act on a start burst that did not carry its
   /// code (forced correlator false positive).
-  bool forge_trigger(Rng& node_rng) {
-    if (!node_rng.chance(plan_.signature.false_positive_rate)) return false;
-    ++counters_.forced_trigger_false_positives;
-    return true;
-  }
-  void note_trigger_loss() { ++counters_.forced_trigger_losses; }
+  bool forge_trigger(Rng& node_rng);
+  void note_trigger_loss();
 
   // ---- clock skew --------------------------------------------------------
 
@@ -99,16 +104,25 @@ class FaultInjector {
     return i < skew_ppm_.size() ? skew_ppm_[i] : 0.0;
   }
 
-  const FaultCounters& counters() const { return counters_; }
+  /// Injected-impairment totals, merged across queue lanes.
+  FaultCounters counters() const;
 
  private:
-  void schedule_burst(phy::Medium& medium, TimeNs at, TimeNs until);
+  void schedule_burst(phy::Medium& medium, TimeNs at, TimeNs until,
+                      bool count_bursts);
+  Rng& lane_rng();
+  FaultCounters& lane_counters();
 
   sim::Simulator& sim_;
   FaultPlan plan_;
   Rng rng_;
+  /// Per-queue RNG lanes, forked from rng_ at construction when the
+  /// simulator is partitioned; empty otherwise (rng_ is the single lane,
+  /// preserving the historical stream byte-for-byte).
+  std::vector<Rng> lane_rngs_;
+  /// Per-queue counter lanes; always at least one.
+  std::vector<FaultCounters> lane_counters_;
   std::vector<double> skew_ppm_;
-  FaultCounters counters_;
 };
 
 }  // namespace dmn::fault

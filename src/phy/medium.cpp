@@ -4,6 +4,8 @@
 #include <cassert>
 #include <cstdio>
 #include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 #include "util/units.h"
 
@@ -33,7 +35,32 @@ Medium::Medium(sim::Simulator& sim, const topo::Topology& topo)
       noise_mw_(dbm_to_mw(topo.thresholds().noise_floor_dbm)) {}
 
 void Medium::attach(topo::NodeId node, MediumClient* client) {
+  if (!is_member(node)) {
+    throw std::logic_error("medium: attach of node " + std::to_string(node) +
+                           " outside this medium's partition");
+  }
   clients_.at(static_cast<std::size_t>(node)) = client;
+}
+
+void Medium::restrict_to_nodes(std::vector<topo::NodeId> members) {
+  std::sort(members.begin(), members.end());
+  member_mask_.assign(topo_.num_nodes(), false);
+  for (const topo::NodeId id : members) {
+    member_mask_.at(static_cast<std::size_t>(id)) = true;
+  }
+  // No cross-partition airtime coupling: every audible neighbor of a member
+  // must itself be a member, otherwise a transmission here would deposit
+  // decodable power on a node simulated elsewhere.
+  for (const topo::NodeId id : members) {
+    for (const topo::NodeId nb : topo_.audible_from(id)) {
+      if (!member_mask_[static_cast<std::size_t>(nb)]) {
+        throw std::logic_error(
+            "medium: partition not closed under audibility: node " +
+            std::to_string(id) + " hears non-member " + std::to_string(nb));
+      }
+    }
+  }
+  members_ = std::move(members);
 }
 
 double Medium::decode_threshold_db(FrameType t) const {
@@ -76,18 +103,38 @@ void Medium::apply_tx_power(const ActiveTx& tx, double sign) {
   // transmitter itself — matching the reference accounting that skipped
   // the own-source term.
   const auto row = topo_.rss_mw_row(tx.frame.src);
-  const std::size_t n = inbound_mw_.size();
   double* inbound = inbound_mw_.data();
-  for (std::size_t i = 0; i < n; ++i) inbound[i] += sign * row[i];
-  if (tx.rop) {
+  if (members_.empty()) {
+    const std::size_t n = inbound_mw_.size();
+    for (std::size_t i = 0; i < n; ++i) inbound[i] += sign * row[i];
+    if (tx.rop) {
+      double* rop = rop_inbound_mw_.data();
+      for (std::size_t i = 0; i < n; ++i) rop[i] += sign * row[i];
+    }
+  } else {
+    // Partition-restricted medium: only member sums are maintained (power
+    // on any non-member is sub-audible by the closure invariant). This is
+    // the main algorithmic win of partitioning — O(partition) instead of
+    // O(topology) per transmission edge.
     double* rop = rop_inbound_mw_.data();
-    for (std::size_t i = 0; i < n; ++i) rop[i] += sign * row[i];
+    for (const topo::NodeId id : members_) {
+      const auto i = static_cast<std::size_t>(id);
+      inbound[i] += sign * row[i];
+      if (tx.rop) rop[i] += sign * row[i];
+    }
   }
   // Quiescence resets incremental sums to exactly zero, so add/remove
   // rounding residues cannot accumulate across the simulation.
   if (active_.empty()) {
-    std::fill(inbound_mw_.begin(), inbound_mw_.end(), 0.0);
-    std::fill(rop_inbound_mw_.begin(), rop_inbound_mw_.end(), 0.0);
+    if (members_.empty()) {
+      std::fill(inbound_mw_.begin(), inbound_mw_.end(), 0.0);
+      std::fill(rop_inbound_mw_.begin(), rop_inbound_mw_.end(), 0.0);
+    } else {
+      for (const topo::NodeId id : members_) {
+        inbound_mw_[static_cast<std::size_t>(id)] = 0.0;
+        rop_inbound_mw_[static_cast<std::size_t>(id)] = 0.0;
+      }
+    }
   }
 }
 
@@ -120,13 +167,20 @@ void Medium::refresh_interference_and_cs() {
   // Edge-triggered CS notifications. The comparison happens in linear
   // power against the precomputed threshold (equivalent to the dBm
   // comparison by monotonicity of the conversion).
-  const std::size_t n = clients_.size();
-  for (std::size_t i = 0; i < n; ++i) {
+  auto check_cs = [this](std::size_t i) {
     const bool busy = tx_count_[i] > 0 ||
                       external_intf_mw_ + inbound_mw_[i] >= cs_threshold_mw_;
     if (busy != cs_busy_[i]) {
       cs_busy_[i] = busy;
       if (clients_[i] != nullptr) clients_[i]->on_cs_change(busy);
+    }
+  };
+  if (members_.empty()) {
+    const std::size_t n = clients_.size();
+    for (std::size_t i = 0; i < n; ++i) check_cs(i);
+  } else {
+    for (const topo::NodeId id : members_) {
+      check_cs(static_cast<std::size_t>(id));
     }
   }
   if (observer_ != nullptr) observer_->on_medium_accounting();
@@ -135,6 +189,11 @@ void Medium::refresh_interference_and_cs() {
 void Medium::transmit(const Frame& frame) {
   assert(frame.duration > 0 && "frame duration must be set");
   assert(frame.src != topo::kNoNode);
+  if (!is_member(frame.src)) {
+    throw std::logic_error("medium: transmit by node " +
+                           std::to_string(frame.src) +
+                           " outside this medium's partition");
+  }
   const std::uint32_t slot = alloc_slot();
   ActiveTx& tx = slab_[slot];
   tx.frame = frame;

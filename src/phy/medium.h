@@ -88,6 +88,21 @@ class Medium {
   /// Registers the MAC entity for a node. One client per node.
   void attach(topo::NodeId node, MediumClient* client);
 
+  /// Partitioned runs give each interference partition its own Medium and
+  /// attach only that partition's nodes. Restricting pins the member set:
+  /// power/CS accounting sweeps only members, and attach()/transmit() by a
+  /// non-member throw. The set must be closed under audibility — no audible
+  /// edge may leave it — which is verified here; this is the kernel's
+  /// "no cross-partition airtime coupling" assertion. Power a member's
+  /// transmission would deposit on a non-member is below receiver
+  /// sensitivity by construction and is dropped from the sums (documented
+  /// idealization: sub-audible power also stops contributing to non-member
+  /// carrier-sense/interference aggregates).
+  void restrict_to_nodes(std::vector<topo::NodeId> members);
+
+  /// Restricted member list (ascending); empty when unrestricted.
+  const std::vector<topo::NodeId>& member_nodes() const { return members_; }
+
   /// Starts transmitting `frame` (frame.duration must be set). The frame is
   /// delivered to listeners at now() + duration.
   void transmit(const Frame& frame);
@@ -182,8 +197,14 @@ class Medium {
   void apply_tx_power(const ActiveTx& tx, double sign);
   double decode_threshold_db(FrameType t) const;
 
+  bool is_member(topo::NodeId node) const {
+    return member_mask_.empty() || member_mask_[static_cast<std::size_t>(node)];
+  }
+
   sim::Simulator& sim_;
   const topo::Topology& topo_;
+  std::vector<topo::NodeId> members_;  // empty = all nodes
+  std::vector<bool> member_mask_;      // empty = all nodes
   std::vector<MediumClient*> clients_;
   MediumObserver* observer_ = nullptr;
   bool test_power_leak_ = false;

@@ -1,0 +1,69 @@
+#include "sim/event_queue.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace dmn::sim {
+
+void EventQueue::push(TimeNs at, EventFn fn,
+                      std::shared_ptr<EventHandle::State> state) {
+  if (at < now_) {
+    throw std::logic_error(
+        "sim: cannot schedule into the past: at=" + std::to_string(at) +
+        " ns < now=" + std::to_string(now_) + " ns (queue " +
+        std::to_string(index_) + ")");
+  }
+  push_entry(Entry{at, next_seq_++, std::move(fn), std::move(state)});
+}
+
+bool EventQueue::run_one() {
+  Entry entry = pop_entry();
+  if (entry.state != nullptr && entry.state->cancelled) return false;
+  now_ = entry.at;
+  if (entry.state != nullptr) entry.state->done = true;
+  ++executed_;
+  entry.fn();
+  return true;
+}
+
+std::uint64_t EventQueue::run_window(TimeNs last, std::uint64_t max_events,
+                                     const std::atomic<bool>* interrupt) {
+  std::uint64_t ran = 0;
+  while (!heap_.empty() && !stop_requested_) {
+    if (ran >= max_events) break;
+    if (interrupt != nullptr && interrupt->load(std::memory_order_relaxed)) {
+      break;
+    }
+    if (heap_.front().at > last) break;
+    if (run_one()) ++ran;
+  }
+  return ran;
+}
+
+void EventQueue::inbox_put(CrossMsg msg) {
+  const std::lock_guard<std::mutex> lock(inbox_mutex_);
+  inbox_.push_back(std::move(msg));
+}
+
+void EventQueue::drain_inbox() {
+  std::vector<CrossMsg> msgs;
+  {
+    const std::lock_guard<std::mutex> lock(inbox_mutex_);
+    msgs.swap(inbox_);
+  }
+  if (msgs.empty()) return;
+  std::sort(msgs.begin(), msgs.end(),
+            [](const CrossMsg& a, const CrossMsg& b) {
+              if (a.at != b.at) return a.at < b.at;
+              if (a.src != b.src) return a.src < b.src;
+              return a.seq < b.seq;
+            });
+  for (CrossMsg& m : msgs) push(m.at, std::move(m.fn), nullptr);
+}
+
+bool EventQueue::inbox_pending() {
+  const std::lock_guard<std::mutex> lock(inbox_mutex_);
+  return !inbox_.empty();
+}
+
+}  // namespace dmn::sim

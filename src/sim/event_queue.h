@@ -1,0 +1,249 @@
+#pragma once
+// One partition's slice of the discrete-event kernel: a time-ordered event
+// heap with its own clock, plus a mutex-protected inbox for events posted
+// from other partitions.
+//
+// Events scheduled for the same tick run in FIFO order of scheduling
+// (stable), which keeps protocol state machines deterministic. Cancellation
+// is lazy: cancel() flags the event and the run loop skips flagged entries.
+//
+// The queue is allocation-free on the hot path:
+//  * event callables live in fixed inline storage inside the queue entry
+//    (EventFn below) — no heap allocation unless a capture exceeds the
+//    inline capacity, which no call site in this codebase does;
+//  * cancellation state is allocated lazily: post_at()/post_in() are
+//    fire-and-forget and carry no state at all, while schedule_at()/
+//    schedule_in() allocate the shared EventHandle state the caller keeps.
+//
+// Threading contract: a queue is only ever touched by one thread at a time —
+// its owning worker during a synchronization window, the coordinator between
+// windows. The sole exception is inbox_put()/next_cross_seq(), which remote
+// partitions may call concurrently under inbox_mutex_; drain_inbox() moves
+// the accumulated messages into the heap at a window barrier, sorted by
+// (time, source queue, source sequence) so the merged order is a pure
+// function of the simulated computation, never of thread scheduling.
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "util/time.h"
+
+namespace dmn::sim {
+
+/// Move-only `void()` callable with inline storage. Callables up to
+/// kInlineCapacity bytes (every scheduling lambda in the simulator — the
+/// largest captures a SignatureBurst by value) are stored in place; larger
+/// ones fall back to a single heap allocation, preserving correctness.
+class EventFn {
+ public:
+  static constexpr std::size_t kInlineCapacity = 64;
+
+  EventFn() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, EventFn> &&
+                std::is_invocable_r_v<void, std::decay_t<F>&>>>
+  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callable adaptor
+    using Fn = std::decay_t<F>;
+    if constexpr (sizeof(Fn) <= kInlineCapacity &&
+                  alignof(Fn) <= alignof(std::max_align_t)) {
+      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
+      invoke_ = [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); };
+      relocate_ = [](void* dst, void* src) {
+        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
+        ::new (dst) Fn(std::move(*s));
+        s->~Fn();
+      };
+      destroy_ = [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); };
+    } else {
+      // Oversized capture: store a pointer in the buffer instead.
+      Fn* heap = new Fn(std::forward<F>(f));
+      ::new (static_cast<void*>(buf_)) Fn*(heap);
+      invoke_ = [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); };
+      relocate_ = [](void* dst, void* src) {
+        Fn** s = std::launder(reinterpret_cast<Fn**>(src));
+        ::new (dst) Fn*(*s);
+      };
+      destroy_ = [](void* p) {
+        delete *std::launder(reinterpret_cast<Fn**>(p));
+      };
+    }
+  }
+
+  EventFn(EventFn&& other) noexcept
+      : invoke_(other.invoke_),
+        relocate_(other.relocate_),
+        destroy_(other.destroy_) {
+    if (relocate_ != nullptr) relocate_(buf_, other.buf_);
+    other.invoke_ = nullptr;
+    other.relocate_ = nullptr;
+    other.destroy_ = nullptr;
+  }
+
+  EventFn& operator=(EventFn&& other) noexcept {
+    if (this != &other) {
+      reset();
+      invoke_ = other.invoke_;
+      relocate_ = other.relocate_;
+      destroy_ = other.destroy_;
+      if (relocate_ != nullptr) relocate_(buf_, other.buf_);
+      other.invoke_ = nullptr;
+      other.relocate_ = nullptr;
+      other.destroy_ = nullptr;
+    }
+    return *this;
+  }
+
+  EventFn(const EventFn&) = delete;
+  EventFn& operator=(const EventFn&) = delete;
+  ~EventFn() { reset(); }
+
+  void operator()() { invoke_(buf_); }
+  explicit operator bool() const { return invoke_ != nullptr; }
+
+ private:
+  void reset() {
+    if (destroy_ != nullptr) destroy_(buf_);
+    invoke_ = nullptr;
+    relocate_ = nullptr;
+    destroy_ = nullptr;
+  }
+
+  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
+  void (*invoke_)(void*) = nullptr;
+  void (*relocate_)(void* dst, void* src) = nullptr;
+  void (*destroy_)(void*) = nullptr;
+};
+
+/// Handle to a scheduled event; may be used to cancel it.
+class EventHandle {
+ public:
+  EventHandle() = default;
+
+  /// True if the event is still pending (not run, not cancelled).
+  bool pending() const { return state_ && !state_->done && !state_->cancelled; }
+
+ private:
+  friend class EventQueue;
+  friend class Simulator;
+  struct State {
+    bool cancelled = false;
+    bool done = false;
+  };
+  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
+  std::shared_ptr<State> state_;
+};
+
+/// "No pending event" sentinel for EventQueue::next_time().
+inline constexpr TimeNs kTimeNever = std::numeric_limits<TimeNs>::max();
+
+class EventQueue {
+ public:
+  explicit EventQueue(std::uint32_t index) : index_(index) {}
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  std::uint32_t index() const { return index_; }
+  TimeNs now() const { return now_; }
+  void set_now(TimeNs t) { now_ = t; }
+  bool empty() const { return heap_.empty(); }
+  std::uint64_t executed() const { return executed_; }
+
+  /// Timestamp of the earliest pending event, kTimeNever when empty.
+  TimeNs next_time() const { return heap_.empty() ? kTimeNever : heap_.front().at; }
+
+  /// Inserts an event. Throws std::logic_error when `at` lies in this
+  /// queue's past — causality violations must be loud even in Release
+  /// builds, where all benches run.
+  void push(TimeNs at, EventFn fn, std::shared_ptr<EventHandle::State> state);
+
+  /// Pops and executes the earliest pending event; skips (without counting)
+  /// a cancelled entry. The caller guarantees the heap is non-empty.
+  /// Returns true when an event actually ran.
+  bool run_one();
+
+  /// Runs pending events with at <= last, in (at, seq) order, until the
+  /// heap drains past the bound, `max_events` have run, stop() was
+  /// requested from inside an event, or the interrupt flag reads true.
+  /// Returns the number of events executed.
+  std::uint64_t run_window(TimeNs last, std::uint64_t max_events,
+                           const std::atomic<bool>* interrupt);
+
+  bool stop_requested() const { return stop_requested_; }
+  void request_stop() { stop_requested_ = true; }
+  void clear_stop() { stop_requested_ = false; }
+
+  /// A cross-partition event, ordered by (at, src queue, src sequence).
+  struct CrossMsg {
+    TimeNs at;
+    std::uint32_t src;
+    std::uint64_t seq;
+    EventFn fn;
+  };
+
+  /// Appends a message from another partition (thread-safe).
+  void inbox_put(CrossMsg msg);
+
+  /// Next per-source sequence number for cross-partition sends originating
+  /// from THIS queue (called by the owning thread only).
+  std::uint64_t next_cross_seq() { return cross_seq_++; }
+
+  /// Moves accumulated inbox messages into the heap in deterministic
+  /// (at, src, seq) order. Barrier-only: the caller must be the queue's
+  /// sole executor. push() throws if a message lands in the past.
+  void drain_inbox();
+
+  /// True when inbox_put() calls are pending a drain (barrier-only).
+  bool inbox_pending();
+
+ private:
+  friend class Simulator;
+
+  struct Entry {
+    TimeNs at;
+    std::uint64_t seq;  // tie-break: FIFO within a tick
+    EventFn fn;
+    std::shared_ptr<EventHandle::State> state;  // null for post_at events
+  };
+  /// Min-heap order on (at, seq) — strict total order, so the pop sequence
+  /// is identical regardless of heap internals.
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const {
+      if (a.at != b.at) return a.at > b.at;
+      return a.seq > b.seq;
+    }
+  };
+
+  void push_entry(Entry e) {
+    heap_.push_back(std::move(e));
+    std::push_heap(heap_.begin(), heap_.end(), Later{});
+  }
+  Entry pop_entry() {
+    std::pop_heap(heap_.begin(), heap_.end(), Later{});
+    Entry e = std::move(heap_.back());
+    heap_.pop_back();
+    return e;
+  }
+
+  std::uint32_t index_;
+  std::vector<Entry> heap_;
+  TimeNs now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t executed_ = 0;
+  bool stop_requested_ = false;
+  std::uint64_t cross_seq_ = 0;
+  std::mutex inbox_mutex_;
+  std::vector<CrossMsg> inbox_;
+};
+
+}  // namespace dmn::sim

@@ -1,35 +1,192 @@
 #include "sim/simulator.h"
 
-#include <cassert>
+#include <algorithm>
+#include <condition_variable>
 #include <limits>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <thread>
 #include <utility>
 
 namespace dmn::sim {
 
+namespace {
+
+// Which queue the current thread is executing events for. Keyed by the
+// owning Simulator so nested/neighbouring simulators (tests build several)
+// never observe each other's scope.
+struct ActiveRef {
+  const Simulator* sim = nullptr;
+  EventQueue* queue = nullptr;
+};
+thread_local ActiveRef g_active;
+
+// RAII run-phase scope: marks `queue` as the executing queue on this thread
+// for the duration of a synchronization window.
+class TlsScope {
+ public:
+  TlsScope(const Simulator* sim, EventQueue* queue) : prev_(g_active) {
+    g_active = ActiveRef{sim, queue};
+  }
+  ~TlsScope() { g_active = prev_; }
+
+ private:
+  ActiveRef prev_;
+};
+
+}  // namespace
+
+// Worker pool shared state. Workers wait for a generation bump, run their
+// assigned queues for the published window, and report completion; the
+// mutex hand-off gives the coordinator a happens-before edge over every
+// queue mutation the workers made.
+struct Simulator::Pool {
+  std::mutex m;
+  std::condition_variable start_cv;
+  std::condition_variable done_cv;
+  std::uint64_t generation = 0;
+  TimeNs last = 0;
+  std::uint64_t cap = 0;
+  std::size_t remaining = 0;
+  bool shutdown = false;
+  std::vector<std::thread> workers;
+};
+
+Simulator::Simulator() {
+  queues_.push_back(std::make_unique<EventQueue>(0));
+}
+
+Simulator::~Simulator() { shutdown_pool(); }
+
+Simulator::Scope::Scope(Simulator& sim, std::uint32_t queue)
+    : sim_(sim), prev_(sim.build_queue_) {
+  if (queue >= sim_.queues_.size()) {
+    throw std::out_of_range("sim: Scope queue " + std::to_string(queue) +
+                            " out of range");
+  }
+  sim_.build_queue_ = queue;
+}
+
+Simulator::Scope::~Scope() { sim_.build_queue_ = prev_; }
+
+EventQueue& Simulator::active() const {
+  if (g_active.sim == this && g_active.queue != nullptr) {
+    return *g_active.queue;
+  }
+  return *queues_[build_queue_];
+}
+
+void Simulator::configure_partitions(std::vector<std::uint32_t> assignment,
+                                     std::uint32_t count, TimeNs lookahead,
+                                     unsigned threads) {
+  if (count < 2) {
+    throw std::invalid_argument(
+        "sim: configure_partitions requires >= 2 partitions; keep the "
+        "single-queue kernel otherwise");
+  }
+  if (lookahead <= 0) {
+    throw std::invalid_argument(
+        "sim: partitioned kernel requires a positive lookahead");
+  }
+  for (std::uint32_t a : assignment) {
+    if (a >= count) {
+      throw std::invalid_argument("sim: partition assignment out of range");
+    }
+  }
+  EventQueue& q0 = *queues_[0];
+  if (!q0.empty() || q0.executed() != 0 || q0.now() != 0) {
+    throw std::logic_error(
+        "sim: configure_partitions must run before any scheduling");
+  }
+  node_queue_ = std::move(assignment);
+  partitions_ = count;
+  lookahead_ = lookahead;
+  threads_ = std::max(1u, threads);
+  queues_.clear();
+  for (std::uint32_t q = 0; q <= count; ++q) {  // + the wired queue
+    queues_.push_back(std::make_unique<EventQueue>(q));
+  }
+}
+
 EventHandle Simulator::schedule_at(TimeNs at, EventFn fn) {
-  assert(at >= now_ && "cannot schedule in the past");
   auto state = std::make_shared<EventHandle::State>();
-  push_entry(Entry{at, next_seq_++, std::move(fn), state});
+  active().push(at, std::move(fn), state);
   return EventHandle(std::move(state));
 }
 
 void Simulator::post_at(TimeNs at, EventFn fn) {
-  assert(at >= now_ && "cannot schedule in the past");
-  push_entry(Entry{at, next_seq_++, std::move(fn), nullptr});
+  active().push(at, std::move(fn), nullptr);
+}
+
+void Simulator::post_to_queue(std::uint32_t dst, TimeNs at, EventFn fn) {
+  if (partitions_ == 0) {
+    post_at(at, std::move(fn));
+    return;
+  }
+  if (dst >= queues_.size()) {
+    throw std::out_of_range("sim: post_to_queue destination " +
+                            std::to_string(dst) + " out of range");
+  }
+  EventQueue& src = active();
+  EventQueue& dq = *queues_[dst];
+  if (&src == &dq) {
+    src.push(at, std::move(fn), nullptr);
+    return;
+  }
+  // Conservative-lookahead contract: a cross-queue event must land beyond
+  // the current synchronization window, otherwise the destination may have
+  // already run past it in parallel.
+  if (at < src.now() + lookahead_) {
+    throw std::logic_error(
+        "sim: cross-partition event below the lookahead horizon: at=" +
+        std::to_string(at) + " ns < now=" + std::to_string(src.now()) +
+        " ns + lookahead=" + std::to_string(lookahead_) + " ns");
+  }
+  dq.inbox_put(EventQueue::CrossMsg{at, src.index(), src.next_cross_seq(),
+                                    std::move(fn)});
 }
 
 void Simulator::cancel(EventHandle& h) {
   if (h.state_) h.state_->cancelled = true;
 }
 
+void Simulator::stop() {
+  active().request_stop();
+  stop_all_.store(true, std::memory_order_relaxed);
+}
+
+std::uint64_t Simulator::events_executed() const {
+  std::uint64_t total = 0;
+  for (const auto& q : queues_) total += q->executed();
+  return total;
+}
+
 void Simulator::run_until(TimeNs until) {
-  stopped_ = false;
+  if (partitions_ == 0) {
+    run_until_legacy(until);
+  } else {
+    run_until_partitioned(until);
+  }
+}
+
+void Simulator::run() {
+  if (partitions_ != 0) {
+    throw std::logic_error("sim: partitioned run requires a finite horizon");
+  }
+  run_until(kTimeNever);
+}
+
+void Simulator::run_until_legacy(TimeNs until) {
+  EventQueue& q = *queues_[0];
+  q.clear_stop();
+  stop_all_.store(false, std::memory_order_relaxed);
   interrupted_ = false;
-  while (!heap_.empty() && !stopped_) {
+  while (!q.empty() && !q.stop_requested()) {
     // Watchdog checks between events: a budget overrun or an externally-set
     // interrupt flag stops the loop at a safe event boundary, leaving now()
     // and events_executed() as the last-known progress.
-    if (event_budget_ != 0 && executed_ >= event_budget_) {
+    if (event_budget_ != 0 && q.executed() >= event_budget_) {
       interrupted_ = true;
       break;
     }
@@ -38,24 +195,172 @@ void Simulator::run_until(TimeNs until) {
       interrupted_ = true;
       break;
     }
-    if (heap_.front().at > until) break;
-    Entry entry = pop_entry();
-    if (entry.state != nullptr && entry.state->cancelled) continue;
-    now_ = entry.at;
-    if (entry.state != nullptr) entry.state->done = true;
-    ++executed_;
-    entry.fn();
+    if (q.next_time() > until) break;
+    q.run_one();
   }
   // Fast-forward the clock to the horizon (but not to the run()'s
   // infinite sentinel) so callers observe "simulated until `until`".
-  if (now_ < until && heap_.empty() &&
-      until != std::numeric_limits<TimeNs>::max()) {
-    now_ = until;
+  if (q.now() < until && q.empty() && until != kTimeNever) {
+    q.set_now(until);
   }
 }
 
-void Simulator::run() {
-  run_until(std::numeric_limits<TimeNs>::max());
+void Simulator::run_until_partitioned(TimeNs until) {
+  if (until == kTimeNever) {
+    throw std::logic_error("sim: partitioned run requires a finite horizon");
+  }
+  interrupted_ = false;
+  stop_all_.store(false, std::memory_order_relaxed);
+  for (auto& q : queues_) q->clear_stop();
+  const std::uint32_t wired = partitions_;
+  for (;;) {
+    // Barrier start: fold the previous window's cross-partition sends into
+    // their destination heaps in deterministic (time, src, seq) order.
+    for (auto& q : queues_) q->drain_inbox();
+    if (event_budget_ != 0 && events_executed() >= event_budget_) {
+      interrupted_ = true;
+      break;
+    }
+    if (interrupt_ != nullptr &&
+        interrupt_->load(std::memory_order_relaxed)) {
+      interrupted_ = true;
+      break;
+    }
+    if (stop_all_.load(std::memory_order_relaxed)) break;
+    TimeNs min_next = kTimeNever;
+    for (auto& q : queues_) min_next = std::min(min_next, q->next_time());
+    if (min_next == kTimeNever || min_next > until) break;
+    // Conservative window: every queue may run events up to `last`
+    // inclusive. Any such event fires at t >= min_next, so its
+    // cross-partition sends land at t + lookahead > last — strictly beyond
+    // this window — and in-window executions are independent.
+    const TimeNs horizon = (min_next > kTimeNever - lookahead_)
+                               ? kTimeNever
+                               : min_next + lookahead_;
+    const TimeNs last = std::min(until, horizon - 1);
+    const std::uint64_t total = events_executed();
+    const std::uint64_t cap =
+        event_budget_ == 0
+            ? std::numeric_limits<std::uint64_t>::max()
+            : (event_budget_ > total ? event_budget_ - total : 0);
+    errors_.assign(queues_.size(), nullptr);
+    {
+      // Wired queue first, on the coordinator, while every node queue is
+      // parked: controller logic may peek AP MAC state race-free. Its view
+      // is at most `lookahead` stale — negligible against the backbone
+      // latency its outputs already ride.
+      TlsScope scope(this, queues_[wired].get());
+      try {
+        queues_[wired]->run_window(last, cap, interrupt_);
+      } catch (...) {
+        errors_[wired] = std::current_exception();
+      }
+    }
+    if (errors_[wired] == nullptr) run_node_windows(last, cap);
+    // Advance every clock to the window end so the next window's wired
+    // peeks and inbox drains see a consistent "time has passed" view.
+    for (auto& q : queues_) {
+      if (q->now() < last) q->set_now(last);
+    }
+    for (auto& e : errors_) {
+      if (e) std::rethrow_exception(e);
+    }
+  }
+  if (!interrupted_ && !stop_all_.load(std::memory_order_relaxed)) {
+    bool all_idle = true;
+    for (auto& q : queues_) {
+      if (!q->empty() || q->inbox_pending()) all_idle = false;
+    }
+    if (all_idle) {
+      for (auto& q : queues_) {
+        if (q->now() < until) q->set_now(until);
+      }
+    }
+  }
+}
+
+void Simulator::run_node_windows(TimeNs last, std::uint64_t cap) {
+  const unsigned workers = std::min<unsigned>(threads_, partitions_);
+  if (workers <= 1) {
+    // Single worker: the coordinator runs partitions in index order. This
+    // is also the byte-reference order every multi-threaded run must match.
+    for (std::uint32_t q = 0; q < partitions_; ++q) {
+      TlsScope scope(this, queues_[q].get());
+      try {
+        queues_[q]->run_window(last, cap, interrupt_);
+      } catch (...) {
+        errors_[q] = std::current_exception();
+      }
+    }
+    return;
+  }
+  ensure_pool();
+  {
+    const std::lock_guard<std::mutex> lock(pool_->m);
+    pool_->last = last;
+    pool_->cap = cap;
+    pool_->remaining = pool_->workers.size();
+    ++pool_->generation;
+  }
+  pool_->start_cv.notify_all();
+  std::unique_lock<std::mutex> lock(pool_->m);
+  pool_->done_cv.wait(lock, [this] { return pool_->remaining == 0; });
+}
+
+void Simulator::ensure_pool() {
+  if (pool_) return;
+  pool_ = std::make_unique<Pool>();
+  const unsigned workers = std::min<unsigned>(threads_, partitions_);
+  pool_->workers.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool_->workers.emplace_back(
+        [this, w, workers] { worker_loop(w, workers); });
+  }
+}
+
+void Simulator::worker_loop(unsigned worker, unsigned stride) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    TimeNs last;
+    std::uint64_t cap;
+    {
+      std::unique_lock<std::mutex> lock(pool_->m);
+      pool_->start_cv.wait(lock, [this, seen] {
+        return pool_->shutdown || pool_->generation != seen;
+      });
+      if (pool_->shutdown) return;
+      seen = pool_->generation;
+      last = pool_->last;
+      cap = pool_->cap;
+    }
+    // Static round-robin queue ownership: worker w always runs queues
+    // w, w+stride, ... — each queue is touched by exactly one thread per
+    // window, and errors_ slots are disjoint.
+    for (std::uint32_t q = worker; q < partitions_;
+         q += static_cast<std::uint32_t>(stride)) {
+      TlsScope scope(this, queues_[q].get());
+      try {
+        queues_[q]->run_window(last, cap, interrupt_);
+      } catch (...) {
+        errors_[q] = std::current_exception();
+      }
+    }
+    {
+      const std::lock_guard<std::mutex> lock(pool_->m);
+      if (--pool_->remaining == 0) pool_->done_cv.notify_all();
+    }
+  }
+}
+
+void Simulator::shutdown_pool() {
+  if (!pool_) return;
+  {
+    const std::lock_guard<std::mutex> lock(pool_->m);
+    pool_->shutdown = true;
+  }
+  pool_->start_cv.notify_all();
+  for (std::thread& t : pool_->workers) t.join();
+  pool_.reset();
 }
 
 }  // namespace dmn::sim

@@ -1,174 +1,139 @@
 #pragma once
 // Discrete-event simulation kernel.
 //
-// A Simulator owns a time-ordered event queue. Events scheduled for the same
-// tick run in FIFO order of scheduling (stable), which keeps protocol state
-// machines deterministic. Cancellation is lazy: cancel() flags the event and
-// the run loop skips flagged entries.
+// In its default configuration a Simulator owns exactly one EventQueue and
+// behaves byte-identically to the historical single-heap kernel: one clock,
+// one time-ordered heap, strict (at, seq) execution order.
 //
-// The queue is allocation-free on the hot path:
-//  * event callables live in fixed inline storage inside the queue entry
-//    (EventFn below) — no heap allocation unless a capture exceeds the
-//    inline capacity, which no call site in this codebase does;
-//  * cancellation state is allocated lazily: post_at()/post_in() are
-//    fire-and-forget and carry no state at all, while schedule_at()/
-//    schedule_in() allocate the shared EventHandle state the caller keeps.
+// configure_partitions() turns it into a conservative parallel kernel
+// (classic ns-3-distributed recipe): each interference partition of the
+// topology gets its own EventQueue + clock, plus one extra "wired" queue for
+// backbone-side logic (controllers). Queues advance in lockstep windows of
+// width `lookahead` — the minimum cross-partition delivery latency (the
+// backbone's min_latency floor). Within a window [t, t+L):
+//   * the wired queue runs first, on the coordinator thread, while every
+//     node queue is parked at the barrier — so controller code may read
+//     AP MAC state synchronously without a data race;
+//   * node queues then run concurrently on the thread pool.
+// Any event executing at time t can only send cross-partition work at
+// >= t + lookahead, i.e. beyond the current window, so no in-window event
+// can affect another queue's current window: the merge of per-queue
+// executions is equivalent to the sequential execution of a global heap
+// over the same per-queue event streams.
+//
+// Cross-partition sends go through post_to_queue(), which appends to the
+// destination's inbox stamped (time, source queue, source sequence); inboxes
+// are drained in that total order at window barriers. Because the order is a
+// pure function of the simulated computation — never of thread timing —
+// results are byte-stable at any thread count for a fixed partition
+// assignment.
 
-#include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <exception>
 #include <memory>
-#include <new>
-#include <type_traits>
-#include <utility>
 #include <vector>
 
+#include "sim/event_queue.h"
 #include "util/time.h"
 
 namespace dmn::sim {
 
-/// Move-only `void()` callable with inline storage. Callables up to
-/// kInlineCapacity bytes (every scheduling lambda in the simulator — the
-/// largest captures a SignatureBurst by value) are stored in place; larger
-/// ones fall back to a single heap allocation, preserving correctness.
-class EventFn {
- public:
-  static constexpr std::size_t kInlineCapacity = 64;
-
-  EventFn() = default;
-
-  template <typename F,
-            typename = std::enable_if_t<
-                !std::is_same_v<std::decay_t<F>, EventFn> &&
-                std::is_invocable_r_v<void, std::decay_t<F>&>>>
-  EventFn(F&& f) {  // NOLINT(google-explicit-constructor): callable adaptor
-    using Fn = std::decay_t<F>;
-    if constexpr (sizeof(Fn) <= kInlineCapacity &&
-                  alignof(Fn) <= alignof(std::max_align_t)) {
-      ::new (static_cast<void*>(buf_)) Fn(std::forward<F>(f));
-      invoke_ = [](void* p) { (*std::launder(reinterpret_cast<Fn*>(p)))(); };
-      relocate_ = [](void* dst, void* src) {
-        Fn* s = std::launder(reinterpret_cast<Fn*>(src));
-        ::new (dst) Fn(std::move(*s));
-        s->~Fn();
-      };
-      destroy_ = [](void* p) { std::launder(reinterpret_cast<Fn*>(p))->~Fn(); };
-    } else {
-      // Oversized capture: store a pointer in the buffer instead.
-      Fn* heap = new Fn(std::forward<F>(f));
-      ::new (static_cast<void*>(buf_)) Fn*(heap);
-      invoke_ = [](void* p) { (**std::launder(reinterpret_cast<Fn**>(p)))(); };
-      relocate_ = [](void* dst, void* src) {
-        Fn** s = std::launder(reinterpret_cast<Fn**>(src));
-        ::new (dst) Fn*(*s);
-      };
-      destroy_ = [](void* p) {
-        delete *std::launder(reinterpret_cast<Fn**>(p));
-      };
-    }
-  }
-
-  EventFn(EventFn&& other) noexcept
-      : invoke_(other.invoke_),
-        relocate_(other.relocate_),
-        destroy_(other.destroy_) {
-    if (relocate_ != nullptr) relocate_(buf_, other.buf_);
-    other.invoke_ = nullptr;
-    other.relocate_ = nullptr;
-    other.destroy_ = nullptr;
-  }
-
-  EventFn& operator=(EventFn&& other) noexcept {
-    if (this != &other) {
-      reset();
-      invoke_ = other.invoke_;
-      relocate_ = other.relocate_;
-      destroy_ = other.destroy_;
-      if (relocate_ != nullptr) relocate_(buf_, other.buf_);
-      other.invoke_ = nullptr;
-      other.relocate_ = nullptr;
-      other.destroy_ = nullptr;
-    }
-    return *this;
-  }
-
-  EventFn(const EventFn&) = delete;
-  EventFn& operator=(const EventFn&) = delete;
-  ~EventFn() { reset(); }
-
-  void operator()() { invoke_(buf_); }
-  explicit operator bool() const { return invoke_ != nullptr; }
-
- private:
-  void reset() {
-    if (destroy_ != nullptr) destroy_(buf_);
-    invoke_ = nullptr;
-    relocate_ = nullptr;
-    destroy_ = nullptr;
-  }
-
-  alignas(std::max_align_t) unsigned char buf_[kInlineCapacity];
-  void (*invoke_)(void*) = nullptr;
-  void (*relocate_)(void* dst, void* src) = nullptr;
-  void (*destroy_)(void*) = nullptr;
-};
-
-/// Handle to a scheduled event; may be used to cancel it.
-class EventHandle {
- public:
-  EventHandle() = default;
-
-  /// True if the event is still pending (not run, not cancelled).
-  bool pending() const { return state_ && !state_->done && !state_->cancelled; }
-
- private:
-  friend class Simulator;
-  struct State {
-    bool cancelled = false;
-    bool done = false;
-  };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
-};
-
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
+  ~Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  /// Current simulation time.
-  TimeNs now() const { return now_; }
+  /// Splits the kernel into `count` node partitions (queues 0..count-1)
+  /// plus one wired queue (index count). `assignment[node]` maps each
+  /// topology node to its partition. `lookahead` must be positive — it is
+  /// the minimum latency of any cross-partition delivery, and becomes the
+  /// synchronization window width. `threads` caps the worker pool (clamped
+  /// to the partition count). Must be called before anything is scheduled.
+  void configure_partitions(std::vector<std::uint32_t> assignment,
+                            std::uint32_t count, TimeNs lookahead,
+                            unsigned threads);
 
-  /// Schedule `fn` to run at absolute time `at` (>= now()). The returned
-  /// handle can cancel the event; if the handle is discarded, prefer
-  /// post_at(), which skips the handle-state allocation.
+  bool partitioned() const { return partitions_ != 0; }
+  /// Number of node partitions (0 when not partitioned).
+  std::uint32_t partition_count() const { return partitions_; }
+  TimeNs lookahead() const { return lookahead_; }
+
+  /// Queue carrying a node's events: its partition when partitioned, the
+  /// single legacy queue otherwise.
+  std::uint32_t queue_of_node(std::size_t node) const {
+    return partitions_ == 0 ? 0
+                            : node_queue_[node];
+  }
+  /// Queue carrying backbone-side logic (== 0 when not partitioned).
+  std::uint32_t wired_queue_index() const { return partitions_; }
+  /// Index of the queue the calling context schedules into right now.
+  std::uint32_t active_queue_index() const { return active().index(); }
+
+  /// Pins the queue that build-phase (outside run) scheduling lands in.
+  /// The facade wraps component construction and traffic-source starts in a
+  /// Scope so their initial self-scheduled events start on the right queue;
+  /// events posted from inside a running event always follow the executing
+  /// queue instead. No-op scoping to queue 0 when not partitioned.
+  class Scope {
+   public:
+    Scope(Simulator& sim, std::uint32_t queue);
+    ~Scope();
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    Simulator& sim_;
+    std::uint32_t prev_;
+  };
+
+  /// Current simulation time (of the active queue).
+  TimeNs now() const { return active().now(); }
+
+  /// Schedule `fn` to run at absolute time `at` (>= now()) on the active
+  /// queue. Throws std::logic_error when `at` lies in the past. The
+  /// returned handle can cancel the event; if the handle is discarded,
+  /// prefer post_at(), which skips the handle-state allocation.
   EventHandle schedule_at(TimeNs at, EventFn fn);
 
   /// Schedule `fn` to run `delay` after now().
   EventHandle schedule_in(TimeNs delay, EventFn fn) {
-    return schedule_at(now_ + delay, std::move(fn));
+    return schedule_at(now() + delay, std::move(fn));
   }
 
   /// Fire-and-forget scheduling: no cancellation handle, no allocation.
   void post_at(TimeNs at, EventFn fn);
   void post_in(TimeNs delay, EventFn fn) {
-    post_at(now_ + delay, std::move(fn));
+    post_at(now() + delay, std::move(fn));
   }
 
-  /// Cancel a pending event. No-op if already run or cancelled.
+  /// Schedules `fn` at absolute time `at` on queue `dst`. Falls back to
+  /// post_at() when not partitioned or when `dst` is the active queue;
+  /// otherwise appends to dst's inbox in (time, source queue, source seq)
+  /// order. Cross-queue sends must respect the lookahead contract
+  /// (`at >= now() + lookahead()`); violations throw std::logic_error.
+  void post_to_queue(std::uint32_t dst, TimeNs at, EventFn fn);
+
+  /// Cancel a pending event. No-op if already run or cancelled. Only valid
+  /// for events on the caller's own queue.
   void cancel(EventHandle& h);
 
-  /// Run until the queue drains or simulation time exceeds `until`.
-  /// Events stamped exactly at `until` still run.
+  /// Run until every queue drains or simulation time exceeds `until`.
+  /// Events stamped exactly at `until` still run. Partitioned runs require
+  /// a finite horizon.
   void run_until(TimeNs until);
 
-  /// Run until the queue drains.
+  /// Run until the queue drains (single-queue kernel only).
   void run();
 
-  /// Request the run loop to stop after the current event.
-  void stop() { stopped_ = true; }
+  /// Request the run loop to stop after the current event. In a partitioned
+  /// run the active queue stops immediately and every other queue stops at
+  /// the next window barrier — a deterministic point, since in-window
+  /// executions are independent.
+  void stop();
 
   /// Arms cooperative external interruption (the sweep watchdog hook).
   /// When `flag` is non-null the run loop polls it between events and stops
@@ -179,56 +144,49 @@ class Simulator {
     interrupt_ = flag;
   }
 
-  /// Caps the total number of executed events; once `events_executed()`
-  /// reaches the budget the run loop stops at the event boundary and
-  /// reports interrupted(). 0 disables the budget.
+  /// Caps the total number of executed events (summed across queues); once
+  /// events_executed() reaches the budget the run loop stops and reports
+  /// interrupted(). In a partitioned run the budget is re-checked at every
+  /// window barrier and enforced deterministically in-window: each window
+  /// lets every queue run at most (budget - total at window start) events,
+  /// a per-queue cap that does not depend on other queues' progress.
+  /// 0 disables the budget.
   void set_event_budget(std::uint64_t max_events) {
     event_budget_ = max_events;
   }
 
   /// True when the last run_until()/run() stopped early because of the
-  /// interrupt flag or the event budget (not because the queue drained,
+  /// interrupt flag or the event budget (not because the queues drained,
   /// the horizon was reached, or stop() was called).
   bool interrupted() const { return interrupted_; }
 
-  /// Number of events executed so far (for tests / sanity checks).
-  std::uint64_t events_executed() const { return executed_; }
+  /// Number of events executed so far, summed across queues.
+  std::uint64_t events_executed() const;
 
  private:
-  struct Entry {
-    TimeNs at;
-    std::uint64_t seq;  // tie-break: FIFO within a tick
-    EventFn fn;
-    std::shared_ptr<EventHandle::State> state;  // null for post_at events
-  };
-  /// Min-heap order on (at, seq) — strict total order, so the pop sequence
-  /// is identical regardless of heap internals.
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
-    }
-  };
+  friend class Scope;
+  struct Pool;
 
-  void push_entry(Entry e) {
-    heap_.push_back(std::move(e));
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
-  }
-  Entry pop_entry() {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Entry e = std::move(heap_.back());
-    heap_.pop_back();
-    return e;
-  }
+  EventQueue& active() const;
+  void run_until_legacy(TimeNs until);
+  void run_until_partitioned(TimeNs until);
+  void run_node_windows(TimeNs last, std::uint64_t cap);
+  void ensure_pool();
+  void worker_loop(unsigned worker, unsigned stride);
+  void shutdown_pool();
 
-  std::vector<Entry> heap_;
-  TimeNs now_ = 0;
-  std::uint64_t next_seq_ = 0;
-  std::uint64_t executed_ = 0;
-  bool stopped_ = false;
+  std::vector<std::unique_ptr<EventQueue>> queues_;
+  std::vector<std::uint32_t> node_queue_;
+  std::uint32_t partitions_ = 0;  // node partitions; 0 = single-queue kernel
+  TimeNs lookahead_ = 0;
+  unsigned threads_ = 1;
+  std::uint32_t build_queue_ = 0;
   bool interrupted_ = false;
+  std::atomic<bool> stop_all_{false};
   const std::atomic<bool>* interrupt_ = nullptr;
   std::uint64_t event_budget_ = 0;
+  std::vector<std::exception_ptr> errors_;
+  std::unique_ptr<Pool> pool_;
 };
 
 }  // namespace dmn::sim

@@ -1,0 +1,34 @@
+#pragma once
+// Interference partitions: connected components of the audible-neighbor
+// graph. Two nodes in different components share no RSS edge at or above
+// receiver sensitivity, so neither carrier sense, interference summation
+// nor frame delivery can couple them over the air — the wired backbone is
+// the only cross-component channel, and its min_latency floor becomes the
+// conservative lookahead of the partitioned kernel (src/sim/simulator.h).
+//
+// Client-AP association edges are folded in as well: an associated pair is
+// always audible in practice, and folding the association explicitly keeps
+// every BSS intact even on hand-built topologies with eccentric RSS tables.
+
+#include <cstdint>
+#include <vector>
+
+#include "topo/topology.h"
+
+namespace dmn::topo {
+
+struct Partitioning {
+  /// Partition id per node, indexed by NodeId. Ids are dense [0, count) and
+  /// ordered by each component's smallest node id, so the assignment is a
+  /// pure function of the topology — never of thread count or build order.
+  std::vector<std::uint32_t> assignment;
+  std::uint32_t count = 0;
+
+  std::vector<NodeId> members_of(std::uint32_t p) const;
+};
+
+/// Union-find over the precomputed audible lists plus every client-AP
+/// association edge.
+Partitioning compute_partitions(const Topology& topo);
+
+}  // namespace dmn::topo

@@ -12,9 +12,10 @@ namespace {
 
 /// Dense-matrix memory guard: the RSS fast path bakes an n x n double
 /// matrix, so an absurd node count from a bad trace would silently try to
-/// allocate gigabytes. 8192 nodes ~= 0.5 GB, far beyond any evaluated
-/// scenario.
-constexpr std::size_t kMaxNodes = 8192;
+/// allocate unbounded memory. 32768 nodes ~= 8 GB per matrix — enough for
+/// the 1000-AP / 24k-client campus the partitioned-kernel scale bench
+/// simulates (bench/bench_scale.cpp), while still rejecting garbage counts.
+constexpr std::size_t kMaxNodes = 32768;
 
 }  // namespace
 

@@ -3,13 +3,23 @@
 namespace dmn::traffic {
 
 void FlowStats::record_delivery(const Packet& p, TimeNs now) {
-  PerFlow& f = flows_[p.flow];
+  // find-then-insert rather than operator[]: on the partitioned kernel's
+  // hot path every sourced flow is pre-registered (ensure_flow), so this is
+  // a pure read of the map structure — safe under concurrent record_* calls
+  // for different flows.
+  auto it = flows_.find(p.flow);
+  if (it == flows_.end()) it = flows_.try_emplace(p.flow).first;
+  PerFlow& f = it->second;
   ++f.count;
   f.bytes += p.bytes;
   f.delay_sum_ns += static_cast<double>(now - p.enqueued);
 }
 
-void FlowStats::record_offered(FlowId flow) { ++flows_[flow].offered; }
+void FlowStats::record_offered(FlowId flow) {
+  auto it = flows_.find(flow);
+  if (it == flows_.end()) it = flows_.try_emplace(flow).first;
+  ++it->second.offered;
+}
 
 std::uint64_t FlowStats::delivered(FlowId flow) const {
   const auto it = flows_.find(flow);

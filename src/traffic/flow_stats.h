@@ -12,6 +12,13 @@ namespace dmn::traffic {
 
 class FlowStats {
  public:
+  /// Pre-registers a flow's accounting slot. Partitioned runs register
+  /// every sourced flow up front so record_* calls from concurrent
+  /// partition queues hit existing map nodes and never mutate the map
+  /// structure (per-flow counters are only ever touched by the flow's own
+  /// partition).
+  void ensure_flow(FlowId flow) { flows_.try_emplace(flow); }
+
   /// Records a successful MAC-level delivery (UDP) or first in-order
   /// arrival (TCP). Delay is measured from Packet::enqueued.
   void record_delivery(const Packet& p, TimeNs now);

@@ -38,9 +38,14 @@ struct Packet {
   bool tcp_is_ack = false;
 };
 
-/// Process-wide monotonically increasing packet id source.
+/// Monotonically increasing packet id source. Partitioned runs use one
+/// generator per partition with disjoint base offsets (partition << 44), so
+/// ids stay globally unique without cross-partition coordination; the
+/// default base preserves the historical single-stream ids 1, 2, 3, ...
 class PacketIdGen {
  public:
+  explicit PacketIdGen(PacketId base = 0) : last_(base) {}
+
   PacketId next() { return ++last_; }
 
  private:

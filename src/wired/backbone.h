@@ -11,10 +11,20 @@
 // fault hook for a DeliveryMod (drop / duplicate / latency spike), then
 // schedule the surviving copies. Nothing in the system may assume a
 // backbone message arrives exactly once.
+//
+// Partitioned kernel: min_latency is the conservative lookahead bound of
+// src/sim/simulator.h, so every delivery — including every faulted copy —
+// must take at least min_latency. send_to_node()/send_to_wired() route a
+// delivery to the destination's event queue; when the simulator is
+// partitioned, each queue samples from its own forked RNG lane so the
+// latency stream is a pure function of the sending queue's computation
+// (byte-stable at any thread count).
 
 #include <functional>
+#include <vector>
 
 #include "sim/simulator.h"
+#include "topo/node.h"
 #include "util/rng.h"
 #include "util/time.h"
 
@@ -28,7 +38,9 @@ struct BackboneParams {
 
 /// Fault verdict for one message: how many copies to deliver (0 = dropped,
 /// 2 = duplicated) and extra latency added to every copy (a spike). The
-/// default is the unimpaired single on-time delivery.
+/// extra latency must be non-negative — a fault may delay a message but can
+/// never deliver it below the min_latency floor the partitioned kernel's
+/// lookahead is derived from.
 struct DeliveryMod {
   unsigned copies = 1;
   TimeNs extra_latency = 0;
@@ -36,8 +48,7 @@ struct DeliveryMod {
 
 class Backbone {
  public:
-  Backbone(sim::Simulator& sim, const BackboneParams& params, Rng rng)
-      : sim_(sim), params_(params), rng_(std::move(rng)) {}
+  Backbone(sim::Simulator& sim, const BackboneParams& params, Rng rng);
 
   /// Installs the fault hook consulted once per send(). Null (the default)
   /// means every message is delivered exactly once.
@@ -45,8 +56,17 @@ class Backbone {
   void set_fault_hook(FaultHook hook) { fault_hook_ = std::move(hook); }
 
   /// Delivers `fn` after one sampled one-way latency — or, under a fault
-  /// hook, zero/one/two independently-delayed copies.
+  /// hook, zero/one/two independently-delayed copies — on the caller's own
+  /// event queue.
   void send(std::function<void()> fn);
+
+  /// Same, but delivers on `node`'s event queue (an AP-bound dispatch or
+  /// release). Equivalent to send() when the simulator is not partitioned.
+  void send_to_node(topo::NodeId node, std::function<void()> fn);
+
+  /// Same, but delivers on the wired queue (an AP report or completion
+  /// notice headed for a controller).
+  void send_to_wired(std::function<void()> fn);
 
   /// One latency sample (exposed for tests and the Fig-11 study).
   TimeNs sample_latency();
@@ -54,9 +74,18 @@ class Backbone {
   const BackboneParams& params() const { return params_; }
 
  private:
+  enum class Route { kActive, kNode, kWired };
+
+  void deliver(Route route, topo::NodeId node, std::function<void()> fn);
+  Rng& lane_rng();
+  TimeNs sample_latency(Rng& rng);
+
   sim::Simulator& sim_;
   BackboneParams params_;
   Rng rng_;
+  /// Per-queue RNG lanes (node partitions + wired), forked from rng_ at
+  /// construction when the simulator is partitioned; empty otherwise.
+  std::vector<Rng> lanes_;
   FaultHook fault_hook_;
 };
 

@@ -1,0 +1,326 @@
+// Tests for the partitioned simulation kernel: interference-component
+// partitioning (topo/partition.h), the conservative-lookahead event-queue
+// protocol (sim/simulator.h), causality and latency-floor guards, and
+// byte-stability of experiment results across worker-thread counts.
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/experiment.h"
+#include "api/sweep_io.h"
+#include "sim/simulator.h"
+#include "topo/partition.h"
+#include "topo/topology.h"
+#include "util/rng.h"
+#include "wired/backbone.h"
+
+namespace dmn {
+namespace {
+
+// ---- topology fixtures ------------------------------------------------------
+
+/// Two radio-isolated buildings, one AP + `clients` clients each.
+topo::Topology two_buildings(std::size_t clients = 2) {
+  topo::ManualTopologyBuilder b;
+  const auto a0 = b.add_ap();
+  const auto a1 = b.add_ap();
+  for (std::size_t i = 0; i < clients; ++i) {
+    b.add_client(a0);
+    b.add_client(a1);
+  }
+  return b.build();
+}
+
+/// Two cells whose APs can hear each other: a single interference component.
+topo::Topology two_cells_coupled() {
+  topo::ManualTopologyBuilder b;
+  const auto a0 = b.add_ap();
+  const auto a1 = b.add_ap();
+  b.add_client(a0);
+  b.add_client(a1);
+  b.sense(a0, a1);
+  return b.build();
+}
+
+/// Reference component labelling: BFS over the union of audibility edges
+/// and client-AP association edges, components numbered in node-id order of
+/// their first (smallest) member — the same canonical order
+/// compute_partitions documents.
+topo::Partitioning bfs_partitions(const topo::Topology& t) {
+  const std::size_t n = t.num_nodes();
+  topo::Partitioning out;
+  out.assignment.assign(n, UINT32_MAX);
+  std::uint32_t next = 0;
+  std::vector<topo::NodeId> stack;
+  for (std::size_t s = 0; s < n; ++s) {
+    if (out.assignment[s] != UINT32_MAX) continue;
+    const std::uint32_t comp = next++;
+    stack.push_back(static_cast<topo::NodeId>(s));
+    out.assignment[s] = comp;
+    while (!stack.empty()) {
+      const topo::NodeId u = stack.back();
+      stack.pop_back();
+      auto visit = [&](topo::NodeId v) {
+        if (out.assignment[static_cast<std::size_t>(v)] == UINT32_MAX) {
+          out.assignment[static_cast<std::size_t>(v)] = comp;
+          stack.push_back(v);
+        }
+      };
+      for (topo::NodeId v : t.audible_from(u)) visit(v);
+      const topo::Node& node = t.node(u);
+      if (!node.is_ap && node.ap != topo::kNoNode) visit(node.ap);
+      for (std::size_t w = 0; w < n; ++w) {
+        const topo::Node& other = t.node(static_cast<topo::NodeId>(w));
+        if (!other.is_ap && other.ap == u) {
+          visit(static_cast<topo::NodeId>(w));
+        }
+      }
+    }
+  }
+  out.count = next;
+  return out;
+}
+
+// ---- partition computation --------------------------------------------------
+
+TEST(Partition, SingleCellIsOnePartition) {
+  topo::ManualTopologyBuilder b;
+  const auto ap = b.add_ap();
+  b.add_client(ap);
+  b.add_client(ap);
+  const auto t = b.build();
+  const auto p = topo::compute_partitions(t);
+  EXPECT_EQ(p.count, 1u);
+  for (std::uint32_t a : p.assignment) EXPECT_EQ(a, 0u);
+}
+
+TEST(Partition, IsolatedBuildingsSplit) {
+  const auto t = two_buildings(2);
+  const auto p = topo::compute_partitions(t);
+  ASSERT_EQ(p.count, 2u);
+  // Canonical numbering: partition of the smallest node id is 0.
+  EXPECT_EQ(p.assignment[0], 0u);  // AP 0
+  EXPECT_EQ(p.assignment[1], 1u);  // AP 1
+  for (std::size_t n = 2; n < t.num_nodes(); ++n) {
+    EXPECT_EQ(p.assignment[n], p.assignment[static_cast<std::size_t>(
+                                   t.node(static_cast<topo::NodeId>(n)).ap)]);
+  }
+  const auto m0 = p.members_of(0);
+  const auto m1 = p.members_of(1);
+  EXPECT_EQ(m0.size() + m1.size(), t.num_nodes());
+}
+
+TEST(Partition, SenseEdgeMergesBuildings) {
+  const auto t = two_cells_coupled();
+  EXPECT_EQ(topo::compute_partitions(t).count, 1u);
+}
+
+TEST(Partition, BridgingClientMergesBuildings) {
+  topo::ManualTopologyBuilder b;
+  const auto a0 = b.add_ap();
+  const auto a1 = b.add_ap();
+  b.add_client(a0);
+  const auto bridge = b.add_client(a1);
+  // The bridge client is audible at the *other* building's AP: one
+  // component, even though the APs cannot hear each other.
+  b.set_rss(bridge, a0, topo::kRssSense);
+  const auto t = b.build();
+  EXPECT_EQ(topo::compute_partitions(t).count, 1u);
+}
+
+TEST(Partition, PropertyNoAudibleEdgeCrossesAndMatchesBfs) {
+  Rng rng(42);
+  for (int trial = 0; trial < 20; ++trial) {
+    // Random multi-building layout: each building is a chain of APs with
+    // random clients; buildings are radio-isolated from each other.
+    topo::ManualTopologyBuilder b;
+    const int buildings = 2 + static_cast<int>(rng.uniform(0.0, 3.0));
+    for (int k = 0; k < buildings; ++k) {
+      topo::NodeId prev = topo::kNoNode;
+      const int aps = 1 + static_cast<int>(rng.uniform(0.0, 2.5));
+      for (int a = 0; a < aps; ++a) {
+        const auto ap = b.add_ap();
+        if (prev != topo::kNoNode) b.sense(prev, ap);
+        const int clients = static_cast<int>(rng.uniform(0.0, 2.5));
+        for (int c = 0; c < clients; ++c) b.add_client(ap);
+        prev = ap;
+      }
+    }
+    const auto t = b.build();
+    const auto p = topo::compute_partitions(t);
+    const auto ref = bfs_partitions(t);
+    EXPECT_EQ(p.count, ref.count);
+    EXPECT_EQ(p.assignment, ref.assignment);
+    // The defining property: no audible edge crosses a partition boundary.
+    for (std::size_t n = 0; n < t.num_nodes(); ++n) {
+      for (topo::NodeId v : t.audible_from(static_cast<topo::NodeId>(n))) {
+        EXPECT_EQ(p.assignment[n], p.assignment[static_cast<std::size_t>(v)]);
+      }
+    }
+    // members_of round-trips the assignment.
+    std::size_t total = 0;
+    for (std::uint32_t q = 0; q < p.count; ++q) {
+      for (topo::NodeId m : p.members_of(q)) {
+        EXPECT_EQ(p.assignment[static_cast<std::size_t>(m)], q);
+        ++total;
+      }
+    }
+    EXPECT_EQ(total, t.num_nodes());
+  }
+}
+
+// ---- kernel guards ----------------------------------------------------------
+
+TEST(Kernel, SchedulingIntoThePastThrows) {
+  sim::Simulator sim;
+  sim.schedule_at(usec(10), [] {});
+  sim.run_until(usec(100));  // clock is now at 100 us
+  EXPECT_THROW(sim.post_at(usec(50), [] {}), std::logic_error);
+  EXPECT_THROW((void)sim.schedule_at(usec(50), [] {}), std::logic_error);
+  // The boundary case (at == now) stays legal.
+  sim.post_at(usec(100), [] {});
+  sim.run_until(usec(101));
+}
+
+TEST(Kernel, CrossPartitionSendBelowLookaheadThrows) {
+  sim::Simulator sim;
+  sim.configure_partitions({0u, 1u}, 2, usec(20), 1);
+  sim::Simulator::Scope scope(sim, 0);
+  // Below the lookahead horizon: rejected.
+  EXPECT_THROW(sim.post_to_queue(1, usec(10), [] {}), std::logic_error);
+  // At the horizon: accepted and delivered.
+  bool ran = false;
+  sim.post_to_queue(1, usec(20), [&] { ran = true; });
+  sim.run_until(usec(50));
+  EXPECT_TRUE(ran);
+}
+
+TEST(Kernel, NegativeExtraLatencyThrows) {
+  sim::Simulator sim;
+  wired::Backbone bb(sim, wired::BackboneParams{}, Rng(7));
+  bb.set_fault_hook([] { return wired::DeliveryMod{1, -usec(5)}; });
+  EXPECT_THROW(bb.send([] {}), std::invalid_argument);
+}
+
+TEST(Kernel, BackboneRespectsMinLatencyFloor) {
+  sim::Simulator sim;
+  wired::BackboneParams params;
+  params.mean_latency = usec(30);
+  params.sigma_latency = usec(200);  // huge jitter: clamp must engage
+  params.min_latency = usec(25);
+  wired::Backbone bb(sim, params, Rng(3));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_GE(bb.sample_latency(), params.min_latency);
+  }
+}
+
+// ---- thread-count resolution ------------------------------------------------
+
+TEST(Threads, ResolutionOrder) {
+  ::unsetenv("DMN_SIM_THREADS");
+  api::ExperimentConfig cfg;
+  EXPECT_EQ(api::resolve_sim_threads(cfg), 0u);  // unset env, default cfg
+  cfg.sim_threads = 4;
+  EXPECT_EQ(api::resolve_sim_threads(cfg), 4u);  // explicit cfg wins
+  ::setenv("DMN_SIM_THREADS", "2", 1);
+  EXPECT_EQ(api::resolve_sim_threads(cfg), 4u);
+  cfg.sim_threads = 0;
+  EXPECT_EQ(api::resolve_sim_threads(cfg), 2u);  // env fallback
+  cfg.sim_threads = -1;
+  EXPECT_EQ(api::resolve_sim_threads(cfg), 0u);  // negative forces classic
+  ::setenv("DMN_SIM_THREADS", "garbage", 1);
+  cfg.sim_threads = 0;
+  EXPECT_EQ(api::resolve_sim_threads(cfg), 0u);
+  ::unsetenv("DMN_SIM_THREADS");
+}
+
+// ---- experiment-level determinism -------------------------------------------
+
+api::ExperimentConfig part_cfg(api::Scheme s, int threads) {
+  api::ExperimentConfig cfg;
+  cfg.scheme = s;
+  cfg.duration = msec(300);
+  cfg.traffic.downlink_bps = 5e6;
+  cfg.traffic.uplink_bps = 1e6;
+  cfg.audit.mode = audit::AuditMode::kOff;
+  cfg.sim_threads = threads;
+  return cfg;
+}
+
+std::string run_bytes(const topo::Topology& t,
+                      const api::ExperimentConfig& cfg) {
+  return api::serialize_result(api::run_experiment(t, cfg));
+}
+
+TEST(Determinism, ByteStableAcrossThreadCounts) {
+  const auto t = two_buildings(2);
+  for (api::Scheme s : {api::Scheme::kDcf, api::Scheme::kDomino}) {
+    const std::string one = run_bytes(t, part_cfg(s, 1));
+    const std::string two = run_bytes(t, part_cfg(s, 2));
+    const std::string eight = run_bytes(t, part_cfg(s, 8));
+    EXPECT_EQ(one, two) << api::to_string(s);
+    EXPECT_EQ(one, eight) << api::to_string(s);
+  }
+}
+
+TEST(Determinism, ByteStableUnderFaultPlan) {
+  const auto t = two_buildings(2);
+  auto cfg = part_cfg(api::Scheme::kDomino, 1);
+  cfg.faults.backbone.drop_rate = 0.05;
+  cfg.faults.signature.false_negative_rate = 0.02;
+  cfg.faults.clock.max_skew_ppm = 20.0;
+  const std::string one = run_bytes(t, cfg);
+  cfg.sim_threads = 2;
+  const std::string two = run_bytes(t, cfg);
+  cfg.sim_threads = 8;
+  const std::string eight = run_bytes(t, cfg);
+  EXPECT_EQ(one, two);
+  EXPECT_EQ(one, eight);
+}
+
+TEST(Determinism, AuditPassiveAndViolationFreeWhenPartitioned) {
+  const auto t = two_buildings(2);
+  const std::string plain = run_bytes(t, part_cfg(api::Scheme::kDomino, 2));
+  auto cfg = part_cfg(api::Scheme::kDomino, 2);
+  cfg.audit.mode = audit::AuditMode::kRecord;
+  const auto r = api::run_experiment(t, cfg);
+  EXPECT_EQ(api::serialize_result(r), plain);  // auditors stay passive
+  ASSERT_NE(r.audit, nullptr);
+  EXPECT_GT(r.audit->checks_run, 100u);
+  EXPECT_TRUE(r.audit->violation_free()) << r.audit->summary();
+}
+
+TEST(Determinism, SingleComponentFallsBackToClassicKernel) {
+  const auto t = two_cells_coupled();
+  auto cfg = part_cfg(api::Scheme::kDomino, 4);
+  const auto r = api::run_experiment(t, cfg);
+  EXPECT_EQ(r.sim_partitions, 1u);  // one component: no partitioning
+  cfg.sim_threads = -1;             // force-classic reference
+  EXPECT_EQ(api::serialize_result(r), run_bytes(t, cfg));
+}
+
+TEST(Partitioned, SmokeBothBuildingsCarryTraffic) {
+  const auto t = two_buildings(2);
+  const auto r = api::run_experiment(t, part_cfg(api::Scheme::kDomino, 2));
+  EXPECT_EQ(r.sim_partitions, 2u);
+  EXPECT_GT(r.events_executed, 0u);
+  ASSERT_FALSE(r.links.empty());
+  // Every downlink flow in both buildings delivered something.
+  for (const api::LinkResult& lr : r.links) {
+    if (!lr.uplink) EXPECT_GT(lr.delivered, 0u) << "flow " << lr.flow.id;
+  }
+}
+
+TEST(Partitioned, AggregatedEventBudgetInterrupts) {
+  const auto t = two_buildings(2);
+  api::Experiment e(t, part_cfg(api::Scheme::kDomino, 2));
+  e.set_run_guard(nullptr, 2000);
+  EXPECT_THROW((void)e.run(), api::ExperimentInterrupted);
+}
+
+}  // namespace
+}  // namespace dmn
