@@ -3,9 +3,10 @@
 // across worker-thread counts against the classic single-queue kernel.
 //
 // The quantity of interest is kernel throughput — events per second of the
-// event loop itself (ExperimentResult::wall_run_seconds); substrate
-// assembly (topology tables, conflict graph) is identical across kernels
-// and reported separately. Alongside the sweep the bench asserts the
+// event loop itself (ExperimentResult::wall_run_seconds) — reported as a
+// wall-clock split (substrate setup vs event loop vs the coordinator's
+// barrier share) so a regression is attributable to a layer, not just
+// visible in a single number. Alongside the sweep the bench asserts the
 // partitioned kernel's two correctness claims at scale: results are
 // byte-stable across thread counts, and a full audited run (DMN_AUDIT
 // semantics via cfg.audit) completes violation-free.
@@ -15,16 +16,25 @@
 //   DMN_SCALE_BUILDINGS       radio-isolated buildings (default 100)
 //   DMN_SCALE_CLIENTS_PER_AP  clients per AP       (default 24)
 //   DMN_BENCH_SECONDS         simulated seconds    (default 0.05)
+//   DMN_BENCH_RUNS            repetitions per point, best run kept (default 1)
+//   DMN_SIM_STATS=1           print kernel telemetry per point (windows,
+//                             fast-forward jumps, activation, wake counts)
+//   DMN_SCALE_MIN_SCALING     when set (e.g. "1.0"): exit non-zero unless the
+//                             best multi-thread events/s is at least this
+//                             multiple of the 1-thread events/s — the CI
+//                             scaling floor
 //
 // Honest caveat: on a single-core container the thread sweep cannot show
 // wall-clock parallel speedup; the partitioned kernel's win there is
 // algorithmic (O(partition) instead of O(all nodes) medium accounting per
-// transmission). docs/PERFORMANCE.md discusses both regimes.
+// transmission, adaptive windows, sparse activation). docs/PERFORMANCE.md
+// discusses both regimes.
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/experiment.h"
@@ -107,6 +117,10 @@ int main() {
   const std::size_t buildings = env_size("DMN_SCALE_BUILDINGS", 100);
   const std::size_t clients_per_ap = env_size("DMN_SCALE_CLIENTS_PER_AP", 24);
   const TimeNs duration = sec(bench::bench_seconds(0.05));
+  const int runs = bench::bench_runs(1);
+  const char* stats_env = std::getenv("DMN_SIM_STATS");
+  const bool want_stats =
+      stats_env != nullptr && *stats_env != '\0' && *stats_env != '0';
 
   bench::print_header("partitioned-kernel scale sweep");
   std::printf("building campus: %zu APs, %zu buildings, %zu clients/AP...\n",
@@ -122,6 +136,7 @@ int main() {
   json.meta("clients_per_ap", static_cast<double>(clients_per_ap));
   json.meta("partitions", static_cast<double>(parts.count));
   json.meta("sim_seconds", to_sec(duration));
+  json.meta("runs_per_point", static_cast<double>(runs));
 
   struct Point {
     const char* label;
@@ -132,23 +147,53 @@ int main() {
       {"part-4t", 4},  {"part-8t", 8},
   };
 
-  std::printf("%-10s %8s %10s %12s %10s %12s %9s\n", "kernel", "threads",
-              "partitions", "events", "run_s", "events/s", "speedup");
+  std::printf("%-10s %8s %10s %12s %9s %9s %9s %8s %12s %9s\n", "kernel",
+              "threads", "partitions", "events", "setup_s", "run_s",
+              "barrier_s", "barr%", "events/s", "speedup");
   double classic_eps = 0.0;
+  double one_thread_eps = 0.0;
+  double best_multi_eps = 0.0;
   std::string part_bytes;  // serialized result of the first partitioned run
   bool stable = true;
   for (const Point& p : sweep) {
-    const auto r = api::run_experiment(t, scale_cfg(t, duration, p.threads));
+    // Best-of-N: keep the run with the smallest event-loop wall clock —
+    // determinism makes every repetition compute identical results, so the
+    // repetitions differ only in scheduler noise.
+    api::ExperimentResult r;
+    for (int rep = 0; rep < runs; ++rep) {
+      auto attempt = api::run_experiment(t, scale_cfg(t, duration, p.threads));
+      if (rep == 0 || attempt.wall_run_seconds < r.wall_run_seconds) {
+        r = std::move(attempt);
+      }
+    }
     const double eps = r.wall_run_seconds > 0.0
                            ? static_cast<double>(r.events_executed) /
                                  r.wall_run_seconds
                            : 0.0;
     if (p.threads < 0) classic_eps = eps;
+    if (p.threads == 1) one_thread_eps = eps;
+    if (p.threads > 1) best_multi_eps = std::max(best_multi_eps, eps);
     const double speedup = classic_eps > 0.0 ? eps / classic_eps : 0.0;
-    std::printf("%-10s %8d %10u %12llu %10.3f %12.0f %8.2fx\n", p.label,
-                p.threads, r.sim_partitions,
+    const double barrier_share = r.wall_run_seconds > 0.0
+                                     ? r.sim_barrier_seconds /
+                                           r.wall_run_seconds
+                                     : 0.0;
+    std::printf("%-10s %8d %10u %12llu %9.3f %9.3f %9.3f %7.1f%% %12.0f %8.2fx\n",
+                p.label, p.threads, r.sim_partitions,
                 static_cast<unsigned long long>(r.events_executed),
-                r.wall_run_seconds, eps, speedup);
+                r.wall_setup_seconds, r.wall_run_seconds,
+                r.sim_barrier_seconds, 100.0 * barrier_share, eps, speedup);
+    if (want_stats && p.threads > 0) {
+      std::printf(
+          "  stats: %llu windows, %llu ff-jumps, %llu elongated, "
+          "activated p50=%u max=%u, wakes spin=%llu sleep=%llu\n",
+          static_cast<unsigned long long>(r.sim_windows),
+          static_cast<unsigned long long>(r.sim_ff_jumps),
+          static_cast<unsigned long long>(r.sim_elongated_windows),
+          r.sim_activated_p50, r.sim_activated_max,
+          static_cast<unsigned long long>(r.sim_spin_wakes),
+          static_cast<unsigned long long>(r.sim_sleep_wakes));
+    }
     const std::string bytes = api::serialize_result(r);
     if (p.threads > 0) {
       if (part_bytes.empty()) {
@@ -164,8 +209,17 @@ int main() {
         .num("events", static_cast<double>(r.events_executed))
         .num("setup_s", r.wall_setup_seconds)
         .num("run_s", r.wall_run_seconds)
+        .num("barrier_s", r.sim_barrier_seconds)
         .num("events_per_sec", eps)
         .num("speedup_vs_classic", speedup)
+        .num("windows", static_cast<double>(r.sim_windows))
+        .num("ff_jumps", static_cast<double>(r.sim_ff_jumps))
+        .num("elongated_windows",
+             static_cast<double>(r.sim_elongated_windows))
+        .num("activated_p50", r.sim_activated_p50)
+        .num("activated_max", r.sim_activated_max)
+        .num("spin_wakes", static_cast<double>(r.sim_spin_wakes))
+        .num("sleep_wakes", static_cast<double>(r.sim_sleep_wakes))
         .num("result_hash", static_cast<double>(fnv1a(bytes) >> 11));
   }
   json.meta("byte_stable", stable ? 1.0 : 0.0);
@@ -191,5 +245,33 @@ int main() {
     if (!ok) return 1;
   }
   if (!stable) return 1;
+
+  // CI scaling floor: with DMN_SCALE_MIN_SCALING=<f> the best multi-thread
+  // point must reach at least f x the 1-thread events/s — the guardrail
+  // that threads never make the kernel slower than not using them. The
+  // floor guards *parallelism*, so it is only enforceable where parallelism
+  // exists: on a single hardware thread every extra worker is pure futex
+  // churn (threads time-slice one core) and the floor is physically
+  // unreachable — report the ratio, skip the verdict.
+  if (const char* floor_env = std::getenv("DMN_SCALE_MIN_SCALING");
+      floor_env != nullptr && *floor_env != '\0') {
+    const double floor = std::atof(floor_env);
+    const double scaling =
+        one_thread_eps > 0.0 ? best_multi_eps / one_thread_eps : 0.0;
+    json.meta("scaling_vs_1t", scaling);
+    const unsigned hw = std::thread::hardware_concurrency();
+    if (hw <= 1) {
+      std::printf("scaling floor: best multi-thread %.0f ev/s vs 1-thread "
+                  "%.0f ev/s = %.2fx — single hardware thread, floor %.2fx "
+                  "not applicable (skipped)\n",
+                  best_multi_eps, one_thread_eps, scaling, floor);
+    } else {
+      std::printf("scaling floor: best multi-thread %.0f ev/s vs 1-thread "
+                  "%.0f ev/s = %.2fx (floor %.2fx, %u hw threads): %s\n",
+                  best_multi_eps, one_thread_eps, scaling, floor, hw,
+                  scaling >= floor ? "ok" : "BELOW FLOOR");
+      if (scaling < floor) return 1;
+    }
+  }
   return 0;
 }

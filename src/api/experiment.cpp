@@ -437,6 +437,15 @@ struct Experiment::Impl {
     result.mean_delay_us = stats.mean_delay_us_all();
     result.events_executed = sim.events_executed();
     result.sim_partitions = partitioned ? parts.count : 1;
+    const sim::KernelStats& ks = sim.kernel_stats();
+    result.sim_windows = ks.windows;
+    result.sim_ff_jumps = ks.ff_jumps;
+    result.sim_elongated_windows = ks.elongated_windows;
+    result.sim_activated_p50 = ks.activated_p50();
+    result.sim_activated_max = ks.activated_max();
+    result.sim_spin_wakes = ks.spin_wakes;
+    result.sim_sleep_wakes = ks.sleep_wakes;
+    result.sim_barrier_seconds = ks.barrier_seconds;
     stack->collect(result);
     if (injector) {
       const fault::FaultCounters fc = injector->counters();

@@ -84,6 +84,19 @@ struct ExperimentResult {
   /// events/sec comparisons (bench/bench_scale.cpp).
   double wall_setup_seconds = 0.0;
   double wall_run_seconds = 0.0;
+  /// Partitioned-kernel telemetry (all zero on the classic kernel). Like
+  /// `events_executed`, deliberately NOT serialized — these describe how
+  /// the run was scheduled, not what it computed, and must never leak into
+  /// the byte-stability comparison. Surfaced by bench_scale under
+  /// DMN_SIM_STATS=1.
+  std::uint64_t sim_windows = 0;            ///< synchronization windows
+  std::uint64_t sim_ff_jumps = 0;           ///< windows that skipped idle time
+  std::uint64_t sim_elongated_windows = 0;  ///< windows with an extended bound
+  std::uint32_t sim_activated_p50 = 0;      ///< median partitions active/window
+  std::uint32_t sim_activated_max = 0;      ///< max partitions active in a window
+  std::uint64_t sim_spin_wakes = 0;         ///< worker wakeups served by spinning
+  std::uint64_t sim_sleep_wakes = 0;        ///< worker wakeups via condition var
+  double sim_barrier_seconds = 0.0;         ///< coordinator publish+wait time
 
   /// Present when the config asked for timeline recording (DOMINO only).
   std::shared_ptr<TimelineRecorder> timeline;

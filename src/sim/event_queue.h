@@ -8,27 +8,46 @@
 // is lazy: cancel() flags the event and the run loop skips flagged entries.
 //
 // The queue is allocation-free on the hot path:
-//  * event callables live in fixed inline storage inside the queue entry
+//  * event callables live in fixed inline storage inside a slab entry
 //    (EventFn below) — no heap allocation unless a capture exceeds the
 //    inline capacity, which no call site in this codebase does;
-//  * cancellation state is allocated lazily: post_at()/post_in() are
-//    fire-and-forget and carry no state at all, while schedule_at()/
-//    schedule_in() allocate the shared EventHandle state the caller keeps.
+//  * the heap itself is a 4-ary min-heap of 24-byte POD keys; callables sit
+//    in a stable slab addressed by slot index, so sift operations move
+//    small PODs instead of 100-byte entries with relocation callbacks;
+//  * cancellation state is pooled: schedule() hands out generation-stamped
+//    State slots from a per-queue free list, recycled the moment the event
+//    runs or its cancelled corpse is popped — no shared_ptr, no allocation
+//    after the pool warms up. post_at()/post_in() carry no state at all.
+//
+// Event order within a queue is the strict total order
+//   (at, lane, seq)  with  lane 0 = locally scheduled events (seq = FIFO
+//   push order) and lane 1+src = cross-partition messages (seq = per-source
+//   send sequence).
+// Putting the cross-partition (source, sequence) pair directly into the
+// heap key — rather than assigning drain-time FIFO numbers — makes the
+// merged order a pure function of the simulated computation, independent of
+// which synchronization barrier happened to drain which message. That is
+// what lets the adaptive window protocol (sim/simulator.h) merge or split
+// barrier batches freely without perturbing results.
 //
 // Threading contract: a queue is only ever touched by one thread at a time —
 // its owning worker during a synchronization window, the coordinator between
-// windows. The sole exception is inbox_put()/next_cross_seq(), which remote
-// partitions may call concurrently under inbox_mutex_; drain_inbox() moves
-// the accumulated messages into the heap at a window barrier, sorted by
-// (time, source queue, source sequence) so the merged order is a pure
-// function of the simulated computation, never of thread scheduling.
+// windows. The sole exception is inbox_put()/inbox_pending(), which remote
+// partitions may call concurrently (mutex-protected vector plus a lock-free
+// "pending" flag for the barrier's idle check); drain_inbox() moves the
+// accumulated messages into the heap at a window barrier.
+//
+// Lifetime contract: an EventHandle borrows pooled state owned by its
+// queue, so handles must not be used after the owning Simulator is
+// destroyed (they were previously shared_ptr-backed and outlived it; no
+// call site relied on that).
 
 #include <algorithm>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
+#include <deque>
 #include <limits>
-#include <memory>
 #include <mutex>
 #include <new>
 #include <type_traits>
@@ -125,23 +144,30 @@ class EventFn {
   void (*destroy_)(void*) = nullptr;
 };
 
-/// Handle to a scheduled event; may be used to cancel it.
+/// Handle to a scheduled event; may be used to cancel it. Backed by pooled,
+/// generation-stamped state inside the owning queue: when the event runs
+/// (or its cancelled entry is reaped) the slot's generation advances and
+/// every outstanding handle to it becomes inert — pending() turns false and
+/// cancel() a no-op — even after the slot is reused for a newer event.
 class EventHandle {
  public:
   EventHandle() = default;
 
   /// True if the event is still pending (not run, not cancelled).
-  bool pending() const { return state_ && !state_->done && !state_->cancelled; }
+  bool pending() const {
+    return state_ != nullptr && state_->gen == gen_ && !state_->cancelled;
+  }
 
  private:
   friend class EventQueue;
   friend class Simulator;
   struct State {
+    std::uint64_t gen = 0;
     bool cancelled = false;
-    bool done = false;
   };
-  explicit EventHandle(std::shared_ptr<State> s) : state_(std::move(s)) {}
-  std::shared_ptr<State> state_;
+  EventHandle(State* s, std::uint64_t gen) : state_(s), gen_(gen) {}
+  State* state_ = nullptr;
+  std::uint64_t gen_ = 0;
 };
 
 /// "No pending event" sentinel for EventQueue::next_time().
@@ -160,20 +186,32 @@ class EventQueue {
   std::uint64_t executed() const { return executed_; }
 
   /// Timestamp of the earliest pending event, kTimeNever when empty.
-  TimeNs next_time() const { return heap_.empty() ? kTimeNever : heap_.front().at; }
+  TimeNs next_time() const { return heap_.empty() ? kTimeNever : heap_[0].at; }
 
-  /// Inserts an event. Throws std::logic_error when `at` lies in this
-  /// queue's past — causality violations must be loud even in Release
-  /// builds, where all benches run.
-  void push(TimeNs at, EventFn fn, std::shared_ptr<EventHandle::State> state);
+  /// Inserts a fire-and-forget event (no cancellation state). Throws
+  /// std::logic_error when `at` lies in this queue's past — causality
+  /// violations must be loud even in Release builds, where all benches run.
+  void push(TimeNs at, EventFn fn);
+
+  /// Inserts a cancellable event and returns its handle. The cancellation
+  /// state comes from the queue's pooled free list — no allocation once the
+  /// pool has warmed up.
+  EventHandle schedule(TimeNs at, EventFn fn);
+
+  /// Cancel a pending event; no-op if already run, reaped, or cancelled.
+  static void cancel(EventHandle& h) {
+    if (h.state_ != nullptr && h.state_->gen == h.gen_) {
+      h.state_->cancelled = true;
+    }
+  }
 
   /// Pops and executes the earliest pending event; skips (without counting)
   /// a cancelled entry. The caller guarantees the heap is non-empty.
   /// Returns true when an event actually ran.
   bool run_one();
 
-  /// Runs pending events with at <= last, in (at, seq) order, until the
-  /// heap drains past the bound, `max_events` have run, stop() was
+  /// Runs pending events with at <= last, in (at, lane, seq) order, until
+  /// the heap drains past the bound, `max_events` have run, stop() was
   /// requested from inside an event, or the interrupt flag reads true.
   /// Returns the number of events executed.
   std::uint64_t run_window(TimeNs last, std::uint64_t max_events,
@@ -191,52 +229,70 @@ class EventQueue {
     EventFn fn;
   };
 
-  /// Appends a message from another partition (thread-safe).
+  /// Appends a message from another partition (thread-safe) and raises the
+  /// lock-free pending flag the barrier's idle check reads.
   void inbox_put(CrossMsg msg);
 
   /// Next per-source sequence number for cross-partition sends originating
   /// from THIS queue (called by the owning thread only).
   std::uint64_t next_cross_seq() { return cross_seq_++; }
 
-  /// Moves accumulated inbox messages into the heap in deterministic
-  /// (at, src, seq) order. Barrier-only: the caller must be the queue's
-  /// sole executor. push() throws if a message lands in the past.
-  void drain_inbox();
+  /// Moves accumulated inbox messages into the heap. Their (at, src, seq)
+  /// execution order is encoded directly in the heap key, so the result is
+  /// independent of which barrier drained which message. Barrier-only: the
+  /// caller must be the queue's sole executor. Throws if a message lands in
+  /// the past. Returns true when any message moved (i.e. next_time() may
+  /// have changed).
+  bool drain_inbox();
 
-  /// True when inbox_put() calls are pending a drain (barrier-only).
-  bool inbox_pending();
+  /// True when inbox_put() calls are pending a drain. Lock-free: a relaxed
+  /// flag raised by inbox_put and cleared by drain_inbox, so per-barrier
+  /// idle checks cost one atomic load instead of a mutex round trip.
+  bool inbox_pending() const {
+    return inbox_flag_.load(std::memory_order_acquire);
+  }
 
  private:
   friend class Simulator;
 
-  struct Entry {
+  /// Heap key: the strict total order (at, lane, seq). 4-ary layout — the
+  /// shallower tree does fewer cache-missing compares per sift than the
+  /// binary std::push_heap/pop_heap it replaces, and moves 24-byte PODs
+  /// instead of full entries.
+  struct Key {
     TimeNs at;
-    std::uint64_t seq;  // tie-break: FIFO within a tick
-    EventFn fn;
-    std::shared_ptr<EventHandle::State> state;  // null for post_at events
-  };
-  /// Min-heap order on (at, seq) — strict total order, so the pop sequence
-  /// is identical regardless of heap internals.
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const {
-      if (a.at != b.at) return a.at > b.at;
-      return a.seq > b.seq;
+    std::uint64_t lane;  // 0 = local FIFO; 1 + src for cross messages
+    std::uint64_t seq;
+    std::uint32_t slot;  // index into slab_
+
+    bool before(const Key& o) const {
+      if (at != o.at) return at < o.at;
+      if (lane != o.lane) return lane < o.lane;
+      return seq < o.seq;
     }
   };
+  struct Entry {
+    EventFn fn;
+    EventHandle::State* state = nullptr;  // null for post_at events
+  };
 
-  void push_entry(Entry e) {
-    heap_.push_back(std::move(e));
-    std::push_heap(heap_.begin(), heap_.end(), Later{});
-  }
-  Entry pop_entry() {
-    std::pop_heap(heap_.begin(), heap_.end(), Later{});
-    Entry e = std::move(heap_.back());
-    heap_.pop_back();
-    return e;
+  void check_future(TimeNs at) const;
+  std::uint32_t take_slot(EventFn fn, EventHandle::State* state);
+  void heap_insert(Key k);
+  /// Removes heap_[0]; the caller has already copied it.
+  void heap_pop_top();
+  void recycle_state(EventHandle::State* s) {
+    ++s->gen;
+    s->cancelled = false;
+    state_free_.push_back(s);
   }
 
   std::uint32_t index_;
-  std::vector<Entry> heap_;
+  std::vector<Key> heap_;
+  std::vector<Entry> slab_;
+  std::vector<std::uint32_t> slot_free_;
+  std::deque<EventHandle::State> state_slab_;  // stable addresses
+  std::vector<EventHandle::State*> state_free_;
   TimeNs now_ = 0;
   std::uint64_t next_seq_ = 0;
   std::uint64_t executed_ = 0;
@@ -244,6 +300,8 @@ class EventQueue {
   std::uint64_t cross_seq_ = 0;
   std::mutex inbox_mutex_;
   std::vector<CrossMsg> inbox_;
+  std::vector<CrossMsg> drain_scratch_;  // reused across drains, no alloc
+  std::atomic<bool> inbox_flag_{false};
 };
 
 }  // namespace dmn::sim

@@ -1,7 +1,9 @@
 #include "sim/simulator.h"
 
 #include <algorithm>
+#include <chrono>
 #include <condition_variable>
+#include <cstdlib>
 #include <limits>
 #include <mutex>
 #include <stdexcept>
@@ -35,21 +37,70 @@ class TlsScope {
   ActiveRef prev_;
 };
 
+// One busy-wait beat that is polite to hyper-threads and, on unknown ISAs,
+// to the scheduler.
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__) || defined(__arm__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::this_thread::yield();
+#endif
+}
+
 }  // namespace
 
-// Worker pool shared state. Workers wait for a generation bump, run their
-// assigned queues for the published window, and report completion; the
-// mutex hand-off gives the coordinator a happens-before edge over every
-// queue mutation the workers made.
+std::uint32_t KernelStats::activated_p50() const {
+  std::uint64_t total = 0;
+  for (std::uint64_t c : activation_hist) total += c;
+  if (total == 0) return 0;
+  const std::uint64_t target = (total + 1) / 2;
+  std::uint64_t cum = 0;
+  for (std::size_t k = 0; k < activation_hist.size(); ++k) {
+    cum += activation_hist[k];
+    if (cum >= target) return static_cast<std::uint32_t>(k);
+  }
+  return 0;
+}
+
+std::uint32_t KernelStats::activated_max() const {
+  for (std::size_t k = activation_hist.size(); k-- > 0;) {
+    if (activation_hist[k] != 0) return static_cast<std::uint32_t>(k);
+  }
+  return 0;
+}
+
+// Worker pool shared state. The coordinator publishes a window by writing
+// the active list / bounds / cap, resetting done_count, storing the
+// generation-tagged work counter, and finally bumping `generation`; workers
+// wait for the bump with an adaptive bounded spin before falling back to
+// the condition variable. Work is claimed one queue at a time by CAS on
+// `work`, whose upper bits carry the generation: a straggler still holding
+// a stale generation can never claim (or corrupt) a later window's index —
+// its CAS simply fails and it returns to the wait loop.
 struct Simulator::Pool {
-  std::mutex m;
-  std::condition_variable start_cv;
-  std::condition_variable done_cv;
-  std::uint64_t generation = 0;
-  TimeNs last = 0;
+  static constexpr unsigned kIdxBits = 16;
+  static constexpr std::uint64_t kIdxMask = (1u << kIdxBits) - 1;
+  static constexpr std::uint32_t kSpinInit = 256;
+  static constexpr std::uint32_t kSpinMin = 16;
+  static constexpr std::uint32_t kSpinMax = 8192;
+
+  std::atomic<std::uint64_t> generation{0};
+  std::atomic<std::uint64_t> work{0};  // (generation << kIdxBits) | next index
+  std::atomic<std::uint32_t> done_count{0};
+  std::atomic<std::uint32_t> active_count{0};
+  const std::uint32_t* active = nullptr;  // into Simulator::active_
+  const TimeNs* bounds = nullptr;         // into Simulator::bounds_
   std::uint64_t cap = 0;
-  std::size_t remaining = 0;
-  bool shutdown = false;
+  std::atomic<bool> shutdown{false};
+  // Sleep path: only touched once a worker exhausts its spin budget.
+  std::mutex m;
+  std::condition_variable cv;
+  std::atomic<std::uint32_t> sleepers{0};
+  // Telemetry (workers add, coordinator folds into KernelStats).
+  std::atomic<std::uint64_t> spin_wakes{0};
+  std::atomic<std::uint64_t> sleep_wakes{0};
   std::vector<std::thread> workers;
 };
 
@@ -85,6 +136,11 @@ void Simulator::configure_partitions(std::vector<std::uint32_t> assignment,
         "sim: configure_partitions requires >= 2 partitions; keep the "
         "single-queue kernel otherwise");
   }
+  if (count >= Pool::kIdxMask) {
+    throw std::invalid_argument(
+        "sim: partition count exceeds the work-index capacity (" +
+        std::to_string(Pool::kIdxMask) + ")");
+  }
   if (lookahead <= 0) {
     throw std::invalid_argument(
         "sim: partitioned kernel requires a positive lookahead");
@@ -103,6 +159,10 @@ void Simulator::configure_partitions(std::vector<std::uint32_t> assignment,
   partitions_ = count;
   lookahead_ = lookahead;
   threads_ = std::max(1u, threads);
+  const char* fixed = std::getenv("DMN_SIM_FIXED_WINDOWS");
+  fixed_windows_ = fixed != nullptr && fixed[0] != '\0' && fixed[0] != '0';
+  stats_ = KernelStats{};
+  stats_.activation_hist.assign(count + 1, 0);
   queues_.clear();
   for (std::uint32_t q = 0; q <= count; ++q) {  // + the wired queue
     queues_.push_back(std::make_unique<EventQueue>(q));
@@ -110,13 +170,11 @@ void Simulator::configure_partitions(std::vector<std::uint32_t> assignment,
 }
 
 EventHandle Simulator::schedule_at(TimeNs at, EventFn fn) {
-  auto state = std::make_shared<EventHandle::State>();
-  active().push(at, std::move(fn), state);
-  return EventHandle(std::move(state));
+  return active().schedule(at, std::move(fn));
 }
 
 void Simulator::post_at(TimeNs at, EventFn fn) {
-  active().push(at, std::move(fn), nullptr);
+  active().push(at, std::move(fn));
 }
 
 void Simulator::post_to_queue(std::uint32_t dst, TimeNs at, EventFn fn) {
@@ -131,12 +189,12 @@ void Simulator::post_to_queue(std::uint32_t dst, TimeNs at, EventFn fn) {
   EventQueue& src = active();
   EventQueue& dq = *queues_[dst];
   if (&src == &dq) {
-    src.push(at, std::move(fn), nullptr);
+    src.push(at, std::move(fn));
     return;
   }
   // Conservative-lookahead contract: a cross-queue event must land beyond
-  // the current synchronization window, otherwise the destination may have
-  // already run past it in parallel.
+  // every other queue's current window bound, otherwise the destination may
+  // have already run past it in parallel.
   if (at < src.now() + lookahead_) {
     throw std::logic_error(
         "sim: cross-partition event below the lookahead horizon: at=" +
@@ -145,10 +203,6 @@ void Simulator::post_to_queue(std::uint32_t dst, TimeNs at, EventFn fn) {
   }
   dq.inbox_put(EventQueue::CrossMsg{at, src.index(), src.next_cross_seq(),
                                     std::move(fn)});
-}
-
-void Simulator::cancel(EventHandle& h) {
-  if (h.state_) h.state_->cancelled = true;
 }
 
 void Simulator::stop() {
@@ -205,6 +259,16 @@ void Simulator::run_until_legacy(TimeNs until) {
   }
 }
 
+void Simulator::run_queue_window(std::uint32_t q, TimeNs last,
+                                 std::uint64_t cap) {
+  TlsScope scope(this, queues_[q].get());
+  try {
+    exec_delta_[q] = queues_[q]->run_window(last, cap, interrupt_);
+  } catch (...) {
+    errors_[q] = std::current_exception();
+  }
+}
+
 void Simulator::run_until_partitioned(TimeNs until) {
   if (until == kTimeNever) {
     throw std::logic_error("sim: partitioned run requires a finite horizon");
@@ -213,9 +277,15 @@ void Simulator::run_until_partitioned(TimeNs until) {
   stop_all_.store(false, std::memory_order_relaxed);
   for (auto& q : queues_) q->clear_stop();
   const std::uint32_t wired = partitions_;
+  const std::size_t nq = queues_.size();
+  bounds_.assign(nq, 0);
+  exec_delta_.assign(nq, 0);
+  bool have_prev = false;
+  TimeNs prev_end = 0;
   for (;;) {
     // Barrier start: fold the previous window's cross-partition sends into
-    // their destination heaps in deterministic (time, src, seq) order.
+    // their destination heaps. The lock-free inbox flag makes this a single
+    // relaxed load per idle queue — no mutex sweep.
     for (auto& q : queues_) q->drain_inbox();
     if (event_budget_ != 0 && events_executed() >= event_budget_) {
       interrupted_ = true;
@@ -227,44 +297,96 @@ void Simulator::run_until_partitioned(TimeNs until) {
       break;
     }
     if (stop_all_.load(std::memory_order_relaxed)) break;
-    TimeNs min_next = kTimeNever;
-    for (auto& q : queues_) min_next = std::min(min_next, q->next_time());
-    if (min_next == kTimeNever || min_next > until) break;
-    // Conservative window: every queue may run events up to `last`
-    // inclusive. Any such event fires at t >= min_next, so its
-    // cross-partition sends land at t + lookahead > last — strictly beyond
-    // this window — and in-window executions are independent.
-    const TimeNs horizon = (min_next > kTimeNever - lookahead_)
+    // m1 = earliest pending event anywhere; m2 = earliest on any OTHER
+    // queue than m1's (== m1 on a tie). Both are pure simulation state.
+    TimeNs m1 = kTimeNever;
+    TimeNs m2 = kTimeNever;
+    std::size_t argmin = 0;
+    for (std::size_t i = 0; i < nq; ++i) {
+      const TimeNs t = queues_[i]->next_time();
+      if (t < m1) {
+        m2 = m1;
+        m1 = t;
+        argmin = i;
+      } else if (t < m2) {
+        m2 = t;
+      }
+    }
+    if (m1 == kTimeNever || m1 > until) break;
+    // Window start: jump straight to the earliest event (adaptive mode) or
+    // step densely from the previous end (DMN_SIM_FIXED_WINDOWS reference).
+    TimeNs start;
+    if (fixed_windows_) {
+      start = have_prev ? prev_end + 1 : 0;
+    } else {
+      start = m1;
+      if (have_prev && m1 > prev_end + 1) ++stats_.ff_jumps;
+    }
+    ++stats_.windows;
+    const TimeNs horizon = (start > kTimeNever - lookahead_)
                                ? kTimeNever
-                               : min_next + lookahead_;
-    const TimeNs last = std::min(until, horizon - 1);
+                               : start + lookahead_;
+    const TimeNs base_last = std::min(until, horizon - 1);
+    TimeNs window_end = base_last;
+    for (std::size_t i = 0; i < nq; ++i) bounds_[i] = base_last;
+    // Elongation: when the minimum is unique, that queue alone may run to
+    // min(m2, m1 + L) + L - 1 — every message that can ever reach it lands
+    // at or beyond min(m2, m1 + L) + L (see the header-comment induction).
+    if (!fixed_windows_ && m2 > m1) {
+      const TimeNs e_start = std::min(m2, horizon);
+      const TimeNs e_horizon = (e_start > kTimeNever - lookahead_)
+                                   ? kTimeNever
+                                   : e_start + lookahead_;
+      const TimeNs e_last = std::min(until, e_horizon - 1);
+      if (e_last > base_last) {
+        bounds_[argmin] = e_last;
+        window_end = e_last;
+        ++stats_.elongated_windows;
+      }
+    }
     const std::uint64_t total = events_executed();
     const std::uint64_t cap =
         event_budget_ == 0
             ? std::numeric_limits<std::uint64_t>::max()
             : (event_budget_ > total ? event_budget_ - total : 0);
-    errors_.assign(queues_.size(), nullptr);
-    {
-      // Wired queue first, on the coordinator, while every node queue is
-      // parked: controller logic may peek AP MAC state race-free. Its view
-      // is at most `lookahead` stale — negligible against the backbone
-      // latency its outputs already ride.
-      TlsScope scope(this, queues_[wired].get());
-      try {
-        queues_[wired]->run_window(last, cap, interrupt_);
-      } catch (...) {
-        errors_[wired] = std::current_exception();
+    errors_.assign(nq, nullptr);
+    // Wired queue first, on the coordinator, while every node queue is
+    // parked: controller logic may peek AP MAC state race-free. Its view
+    // stays < lookahead stale even under elongation — negligible against
+    // the backbone latency its outputs already ride.
+    if (queues_[wired]->next_time() <= bounds_[wired]) {
+      run_queue_window(wired, bounds_[wired], cap);
+    }
+    if (errors_[wired] == nullptr) {
+      // Sparse activation: only node queues with events inside their bound
+      // enter the window at all; the rest just get their clocks advanced.
+      active_.clear();
+      for (std::uint32_t q = 0; q < partitions_; ++q) {
+        if (queues_[q]->next_time() <= bounds_[q]) active_.push_back(q);
+      }
+      stats_.activations += active_.size();
+      ++stats_.activation_hist[active_.size()];
+      if (threads_ <= 1 || active_.size() <= 1) {
+        // No handoff worth paying for: run inline on the coordinator.
+        for (std::uint32_t q : active_) run_queue_window(q, bounds_[q], cap);
+      } else {
+        run_active_pooled(cap);
       }
     }
-    if (errors_[wired] == nullptr) run_node_windows(last, cap);
-    // Advance every clock to the window end so the next window's wired
+    // Advance every clock to its window bound so the next window's wired
     // peeks and inbox drains see a consistent "time has passed" view.
-    for (auto& q : queues_) {
-      if (q->now() < last) q->set_now(last);
+    for (std::size_t i = 0; i < nq; ++i) {
+      if (queues_[i]->now() < bounds_[i]) queues_[i]->set_now(bounds_[i]);
     }
+    have_prev = true;
+    prev_end = window_end;
     for (auto& e : errors_) {
       if (e) std::rethrow_exception(e);
     }
+  }
+  if (pool_) {
+    stats_.spin_wakes = pool_->spin_wakes.load(std::memory_order_relaxed);
+    stats_.sleep_wakes = pool_->sleep_wakes.load(std::memory_order_relaxed);
   }
   if (!interrupted_ && !stop_all_.load(std::memory_order_relaxed)) {
     bool all_idle = true;
@@ -279,87 +401,143 @@ void Simulator::run_until_partitioned(TimeNs until) {
   }
 }
 
-void Simulator::run_node_windows(TimeNs last, std::uint64_t cap) {
-  const unsigned workers = std::min<unsigned>(threads_, partitions_);
-  if (workers <= 1) {
-    // Single worker: the coordinator runs partitions in index order. This
-    // is also the byte-reference order every multi-threaded run must match.
-    for (std::uint32_t q = 0; q < partitions_; ++q) {
-      TlsScope scope(this, queues_[q].get());
-      try {
-        queues_[q]->run_window(last, cap, interrupt_);
-      } catch (...) {
-        errors_[q] = std::current_exception();
-      }
-    }
-    return;
-  }
+void Simulator::run_active_pooled(std::uint64_t cap) {
   ensure_pool();
-  {
-    const std::lock_guard<std::mutex> lock(pool_->m);
-    pool_->last = last;
-    pool_->cap = cap;
-    pool_->remaining = pool_->workers.size();
-    ++pool_->generation;
+  Pool& p = *pool_;
+  using Clock = std::chrono::steady_clock;
+  const auto window_begin = Clock::now();
+  // LPT-style balance: longest (by last window's executed count) first, so
+  // the heavy queue is claimed before the tail of light ones.
+  std::sort(active_.begin(), active_.end(),
+            [this](std::uint32_t a, std::uint32_t b) {
+              if (exec_delta_[a] != exec_delta_[b]) {
+                return exec_delta_[a] > exec_delta_[b];
+              }
+              return a < b;
+            });
+  const std::uint32_t count = static_cast<std::uint32_t>(active_.size());
+  const std::uint64_t gen =
+      p.generation.load(std::memory_order_relaxed) + 1;
+  // Publish order matters: window data, then done_count, then the
+  // generation-tagged work counter (release), then the generation bump the
+  // workers wait on. A worker that observes the new generation therefore
+  // observes everything else.
+  p.active = active_.data();
+  p.bounds = bounds_.data();
+  p.cap = cap;
+  p.active_count.store(count, std::memory_order_relaxed);
+  p.done_count.store(0, std::memory_order_relaxed);
+  p.work.store(gen << Pool::kIdxBits, std::memory_order_release);
+  p.generation.store(gen, std::memory_order_seq_cst);
+  if (p.sleepers.load(std::memory_order_seq_cst) != 0) {
+    // The empty critical section pins sleepers to one side of the predicate
+    // re-check; seq_cst on the generation store and the sleepers counter
+    // closes the classic lost-wakeup window.
+    { const std::lock_guard<std::mutex> lock(p.m); }
+    p.cv.notify_all();
   }
-  pool_->start_cv.notify_all();
-  std::unique_lock<std::mutex> lock(pool_->m);
-  pool_->done_cv.wait(lock, [this] { return pool_->remaining == 0; });
+  // The coordinator is a puller too.
+  const auto exec_begin = Clock::now();
+  pull_windows(p, gen);
+  const auto exec_end = Clock::now();
+  std::uint32_t spins = 0;
+  while (p.done_count.load(std::memory_order_acquire) < count) {
+    cpu_relax();
+    if (++spins >= 256) {
+      std::this_thread::yield();
+      spins = 0;
+    }
+  }
+  const auto window_close = Clock::now();
+  stats_.barrier_seconds +=
+      std::chrono::duration<double>(window_close - window_begin).count() -
+      std::chrono::duration<double>(exec_end - exec_begin).count();
+}
+
+void Simulator::pull_windows(Pool& p, std::uint64_t gen) {
+  std::uint64_t v = p.work.load(std::memory_order_acquire);
+  for (;;) {
+    if ((v >> Pool::kIdxBits) != gen) return;  // not this window any more
+    const std::uint32_t i =
+        static_cast<std::uint32_t>(v & Pool::kIdxMask);
+    if (i >= p.active_count.load(std::memory_order_relaxed)) return;
+    if (p.work.compare_exchange_weak(v, v + 1, std::memory_order_acq_rel,
+                                     std::memory_order_acquire)) {
+      const std::uint32_t q = p.active[i];
+      run_queue_window(q, p.bounds[q], p.cap);
+      p.done_count.fetch_add(1, std::memory_order_release);
+      v = p.work.load(std::memory_order_acquire);
+    }
+    // CAS failure already reloaded v.
+  }
 }
 
 void Simulator::ensure_pool() {
   if (pool_) return;
   pool_ = std::make_unique<Pool>();
-  const unsigned workers = std::min<unsigned>(threads_, partitions_);
-  pool_->workers.reserve(workers);
-  for (unsigned w = 0; w < workers; ++w) {
-    pool_->workers.emplace_back(
-        [this, w, workers] { worker_loop(w, workers); });
+  // The coordinator pulls work alongside the pool, so it counts as one of
+  // the `threads_` execution lanes.
+  const unsigned extra = std::min(threads_, partitions_) - 1;
+  pool_->workers.reserve(extra);
+  for (unsigned w = 0; w < extra; ++w) {
+    pool_->workers.emplace_back([this] { worker_loop(); });
   }
 }
 
-void Simulator::worker_loop(unsigned worker, unsigned stride) {
+void Simulator::worker_loop() {
+  Pool& p = *pool_;
   std::uint64_t seen = 0;
+  std::uint32_t spin_budget = Pool::kSpinInit;
   for (;;) {
-    TimeNs last;
-    std::uint64_t cap;
-    {
-      std::unique_lock<std::mutex> lock(pool_->m);
-      pool_->start_cv.wait(lock, [this, seen] {
-        return pool_->shutdown || pool_->generation != seen;
-      });
-      if (pool_->shutdown) return;
-      seen = pool_->generation;
-      last = pool_->last;
-      cap = pool_->cap;
-    }
-    // Static round-robin queue ownership: worker w always runs queues
-    // w, w+stride, ... — each queue is touched by exactly one thread per
-    // window, and errors_ slots are disjoint.
-    for (std::uint32_t q = worker; q < partitions_;
-         q += static_cast<std::uint32_t>(stride)) {
-      TlsScope scope(this, queues_[q].get());
-      try {
-        queues_[q]->run_window(last, cap, interrupt_);
-      } catch (...) {
-        errors_[q] = std::current_exception();
+    std::uint64_t gen = p.generation.load(std::memory_order_acquire);
+    if (gen == seen) {
+      // Adaptive spin-then-wait: windows usually follow each other within
+      // microseconds, so a short spin avoids the syscall round trip; when
+      // wakeups keep arriving via the cv instead (oversubscribed box), the
+      // budget collapses so we sleep almost immediately.
+      std::uint32_t spins = 0;
+      bool slept = false;
+      for (;;) {
+        if (p.shutdown.load(std::memory_order_acquire)) return;
+        gen = p.generation.load(std::memory_order_acquire);
+        if (gen != seen) break;
+        if (spins < spin_budget) {
+          ++spins;
+          cpu_relax();
+          continue;
+        }
+        p.sleepers.fetch_add(1, std::memory_order_seq_cst);
+        {
+          std::unique_lock<std::mutex> lock(p.m);
+          p.cv.wait(lock, [&p, seen] {
+            return p.shutdown.load(std::memory_order_acquire) ||
+                   p.generation.load(std::memory_order_acquire) != seen;
+          });
+        }
+        p.sleepers.fetch_sub(1, std::memory_order_seq_cst);
+        slept = true;
+      }
+      if (slept) {
+        p.sleep_wakes.fetch_add(1, std::memory_order_relaxed);
+        spin_budget = std::max(spin_budget / 2, Pool::kSpinMin);
+      } else {
+        p.spin_wakes.fetch_add(1, std::memory_order_relaxed);
+        spin_budget = std::min(spin_budget * 2, Pool::kSpinMax);
       }
     }
-    {
-      const std::lock_guard<std::mutex> lock(pool_->m);
-      if (--pool_->remaining == 0) pool_->done_cv.notify_all();
-    }
+    seen = gen;
+    pull_windows(p, seen);
   }
 }
 
 void Simulator::shutdown_pool() {
   if (!pool_) return;
-  {
-    const std::lock_guard<std::mutex> lock(pool_->m);
-    pool_->shutdown = true;
-  }
-  pool_->start_cv.notify_all();
+  pool_->shutdown.store(true, std::memory_order_seq_cst);
+  { const std::lock_guard<std::mutex> lock(pool_->m); }
+  pool_->cv.notify_all();
   for (std::thread& t : pool_->workers) t.join();
+  stats_.spin_wakes = pool_->spin_wakes.load(std::memory_order_relaxed);
+  stats_.sleep_wakes = pool_->sleep_wakes.load(std::memory_order_relaxed);
   pool_.reset();
 }
 

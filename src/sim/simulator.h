@@ -8,25 +8,58 @@
 // configure_partitions() turns it into a conservative parallel kernel
 // (classic ns-3-distributed recipe): each interference partition of the
 // topology gets its own EventQueue + clock, plus one extra "wired" queue for
-// backbone-side logic (controllers). Queues advance in lockstep windows of
-// width `lookahead` — the minimum cross-partition delivery latency (the
-// backbone's min_latency floor). Within a window [t, t+L):
+// backbone-side logic (controllers). Queues advance in synchronization
+// windows bounded by the lookahead L — the minimum cross-partition delivery
+// latency (the backbone's min_latency floor). Per window:
 //   * the wired queue runs first, on the coordinator thread, while every
 //     node queue is parked at the barrier — so controller code may read
 //     AP MAC state synchronously without a data race;
-//   * node queues then run concurrently on the thread pool.
+//   * node queues with work then run concurrently on the thread pool.
 // Any event executing at time t can only send cross-partition work at
-// >= t + lookahead, i.e. beyond the current window, so no in-window event
-// can affect another queue's current window: the merge of per-queue
-// executions is equivalent to the sequential execution of a global heap
-// over the same per-queue event streams.
+// >= t + lookahead, i.e. beyond every other queue's window bound, so no
+// in-window event can affect another queue's current window: the merge of
+// per-queue executions is equivalent to the sequential execution of a
+// global heap over the same per-queue event streams.
+//
+// Window protocol v2 (adaptive). Let m1 = min over queues of next_time()
+// after inbox drains, m2 = the second-smallest. Every window starts at m1 —
+// empty stretches of simulated time are skipped outright (a "fast-forward
+// jump" when m1 lies beyond the previous window's end). Each queue runs to
+// its own bound:
+//   * every queue:        m1 + L - 1   (the classic conservative window);
+//   * the unique minimum: min(m2, m1 + L) + L - 1   when m2 > m1.
+// The elongated bound is safe by induction: events on other queues all lie
+// at >= m2, and any event the minimum queue itself executes at t sends
+// cross-partition work landing at >= t + L >= m1 + L — so every message
+// that can ever reach the minimum queue lands at >= min(m2, m1 + L) + L,
+// strictly beyond its bound. (The tempting m2 + L - 1 bound is NOT safe
+// across multiple windows: a remote queue may execute a freshly drained
+// message at m1 + L and reply landing at m1 + 2L < m2 + L - 1 when
+// m2 > m1 + L + 1.) Controller-peek staleness keeps its documented <= L
+// bound under elongation. Setting DMN_SIM_FIXED_WINDOWS=1 (read at
+// configure_partitions time) disables both optimizations and steps fixed
+// [s, s+L) windows from 0 — the reference schedule. For workloads whose
+// cross-queue interaction is purely message-passing the adaptive schedule
+// matches it byte-for-byte; a controller that synchronously peeks
+// cross-queue state at barriers (DOMINO's downlink peek) observes node
+// progress that depends on where the window boundaries fall, so its
+// peeked values may differ between schedules within the same <= L bound.
+//
+// Per window only queues whose next event lies inside their bound are
+// activated; active queues enter a single atomic work index (largest
+// previous-window execution count first, LPT-style) that the coordinator
+// and pool workers pull from until drained. The barrier is a generation
+// counter with adaptive bounded spin-then-wait, so idle handoffs cost
+// nanoseconds rather than condition-variable syscalls; on a loaded box the
+// spin budget collapses and workers sleep immediately.
 //
 // Cross-partition sends go through post_to_queue(), which appends to the
 // destination's inbox stamped (time, source queue, source sequence); inboxes
-// are drained in that total order at window barriers. Because the order is a
-// pure function of the simulated computation — never of thread timing —
-// results are byte-stable at any thread count for a fixed partition
-// assignment.
+// are drained at window barriers, and the stamp is encoded directly in the
+// destination's heap order. Because that order is a pure function of the
+// simulated computation — never of thread timing or of which barrier
+// drained which message — results are byte-stable at any thread count for
+// a fixed partition assignment and window schedule.
 
 #include <atomic>
 #include <cstddef>
@@ -39,6 +72,30 @@
 #include "util/time.h"
 
 namespace dmn::sim {
+
+/// Kernel telemetry for the partitioned run loop. Counters accumulate
+/// across run_until() calls; all are coordinator-written except the wake
+/// counts, which workers accumulate into the pool and the coordinator folds
+/// in. Cheap enough to keep always-on.
+struct KernelStats {
+  std::uint64_t windows = 0;            ///< synchronization windows executed
+  std::uint64_t ff_jumps = 0;           ///< windows whose start skipped idle time
+  std::uint64_t elongated_windows = 0;  ///< windows where the min queue ran past m1+L-1
+  std::uint64_t activations = 0;        ///< total node-queue activations (sum over windows)
+  /// activation_hist[k] = number of windows that activated exactly k node
+  /// queues; sized partition_count()+1 once partitioned.
+  std::vector<std::uint64_t> activation_hist;
+  std::uint64_t spin_wakes = 0;   ///< worker wakeups served by the spin loop
+  std::uint64_t sleep_wakes = 0;  ///< worker wakeups that fell through to the cv
+  /// Coordinator wall-clock spent publishing windows and waiting at the
+  /// done-barrier, minus the time it spent executing events itself. Only
+  /// accumulated for windows that used the pool.
+  double barrier_seconds = 0.0;
+
+  /// Median / maximum node queues activated per window (0 when no windows).
+  std::uint32_t activated_p50() const;
+  std::uint32_t activated_max() const;
+};
 
 class Simulator {
  public:
@@ -96,7 +153,9 @@ class Simulator {
   /// Schedule `fn` to run at absolute time `at` (>= now()) on the active
   /// queue. Throws std::logic_error when `at` lies in the past. The
   /// returned handle can cancel the event; if the handle is discarded,
-  /// prefer post_at(), which skips the handle-state allocation.
+  /// prefer post_at(), which skips the handle state entirely. Handles
+  /// borrow pooled state owned by the kernel and must not be used after
+  /// the Simulator is destroyed.
   EventHandle schedule_at(TimeNs at, EventFn fn);
 
   /// Schedule `fn` to run `delay` after now().
@@ -119,7 +178,7 @@ class Simulator {
 
   /// Cancel a pending event. No-op if already run or cancelled. Only valid
   /// for events on the caller's own queue.
-  void cancel(EventHandle& h);
+  void cancel(EventHandle& h) { EventQueue::cancel(h); }
 
   /// Run until every queue drains or simulation time exceeds `until`.
   /// Events stamped exactly at `until` still run. Partitioned runs require
@@ -163,6 +222,9 @@ class Simulator {
   /// Number of events executed so far, summed across queues.
   std::uint64_t events_executed() const;
 
+  /// Telemetry of the partitioned run loop (empty for the legacy kernel).
+  const KernelStats& kernel_stats() const { return stats_; }
+
  private:
   friend class Scope;
   struct Pool;
@@ -170,9 +232,17 @@ class Simulator {
   EventQueue& active() const;
   void run_until_legacy(TimeNs until);
   void run_until_partitioned(TimeNs until);
-  void run_node_windows(TimeNs last, std::uint64_t cap);
+  /// Runs queue `q` for the current window on the calling thread, recording
+  /// its executed count (LPT input) and trapping its error.
+  void run_queue_window(std::uint32_t q, TimeNs last, std::uint64_t cap);
+  /// Publishes the active set to the pool, pulls work alongside the
+  /// workers, and waits for the done-barrier (accounting barrier time).
+  void run_active_pooled(std::uint64_t cap);
+  /// Claims active queues off the generation-tagged work counter until the
+  /// window drains; a stale generation claims nothing.
+  void pull_windows(Pool& p, std::uint64_t gen);
   void ensure_pool();
-  void worker_loop(unsigned worker, unsigned stride);
+  void worker_loop();
   void shutdown_pool();
 
   std::vector<std::unique_ptr<EventQueue>> queues_;
@@ -180,11 +250,16 @@ class Simulator {
   std::uint32_t partitions_ = 0;  // node partitions; 0 = single-queue kernel
   TimeNs lookahead_ = 0;
   unsigned threads_ = 1;
+  bool fixed_windows_ = false;  // DMN_SIM_FIXED_WINDOWS=1 reference schedule
   std::uint32_t build_queue_ = 0;
   bool interrupted_ = false;
   std::atomic<bool> stop_all_{false};
   const std::atomic<bool>* interrupt_ = nullptr;
   std::uint64_t event_budget_ = 0;
+  KernelStats stats_;
+  std::vector<TimeNs> bounds_;          // per-queue window bound
+  std::vector<std::uint32_t> active_;   // node queues activated this window
+  std::vector<std::uint64_t> exec_delta_;  // events run last window, per queue
   std::vector<std::exception_ptr> errors_;
   std::unique_ptr<Pool> pool_;
 };

@@ -322,5 +322,143 @@ TEST(Partitioned, AggregatedEventBudgetInterrupts) {
   EXPECT_THROW((void)e.run(), api::ExperimentInterrupted);
 }
 
+// ---- window protocol v2 -----------------------------------------------------
+
+/// A small campus: four radio-isolated buildings, each a two-AP chain with
+/// two clients per AP — enough components that the sparse-activation and
+/// LPT paths in the scheduler actually engage.
+topo::Topology campus4() {
+  topo::ManualTopologyBuilder b;
+  for (int k = 0; k < 4; ++k) {
+    const auto a0 = b.add_ap();
+    const auto a1 = b.add_ap();
+    b.sense(a0, a1);
+    b.add_client(a0);
+    b.add_client(a0);
+    b.add_client(a1);
+    b.add_client(a1);
+  }
+  return b.build();
+}
+
+TEST(Determinism, CampusByteStableAtAllThreadCountsWithFaultsAndAudit) {
+  const auto t = campus4();
+  for (api::Scheme s : {api::Scheme::kDcf, api::Scheme::kDomino}) {
+    auto cfg = part_cfg(s, 1);
+    cfg.duration = msec(150);
+    cfg.faults.backbone.drop_rate = 0.05;
+    cfg.faults.signature.false_negative_rate = 0.02;
+    cfg.faults.clock.max_skew_ppm = 20.0;
+    cfg.audit.mode = audit::AuditMode::kRecord;
+    const auto ref = api::run_experiment(t, cfg);
+    EXPECT_EQ(ref.sim_partitions, 4u);
+    ASSERT_NE(ref.audit, nullptr);
+    EXPECT_TRUE(ref.audit->violation_free()) << ref.audit->summary();
+    const std::string one = api::serialize_result(ref);
+    for (int threads : {2, 4, 8}) {
+      cfg.sim_threads = threads;
+      EXPECT_EQ(run_bytes(t, cfg), one)
+          << api::to_string(s) << " at " << threads << " threads";
+    }
+  }
+}
+
+TEST(Determinism, AdaptiveWindowsMatchFixedWindowStepping) {
+  // DMN_SIM_FIXED_WINDOWS=1 forces the dumb reference schedule: dense
+  // [s, s+L) windows, no fast-forward, no elongation. For schemes whose
+  // cross-queue interaction is purely message-passing (DCF here), the
+  // adaptive scheduler must produce byte-identical results — delivery
+  // order is encoded in the destination heap key, so window policy is a
+  // performance choice, never a semantic one.
+  //
+  // DOMINO is deliberately excluded: its controller performs synchronous
+  // downlink peeks of AP MAC state at window barriers, and how far a node
+  // queue has progressed when a peek at wired-time t runs depends on
+  // where the window boundaries fall. Both schedules stay within the
+  // documented <= L staleness bound, but the exact peeked values can
+  // differ, so fixed-vs-adaptive byte equality is not a contract for
+  // peeking controllers. (Thread-count byte-stability — the kernel's real
+  // contract — holds for every scheme; see the test above.)
+  const auto t = campus4();
+  auto cfg = part_cfg(api::Scheme::kDcf, 2);
+  cfg.duration = msec(150);
+  ::unsetenv("DMN_SIM_FIXED_WINDOWS");
+  const std::string adaptive = run_bytes(t, cfg);
+  ::setenv("DMN_SIM_FIXED_WINDOWS", "1", 1);
+  const std::string fixed = run_bytes(t, cfg);
+  ::unsetenv("DMN_SIM_FIXED_WINDOWS");
+  EXPECT_EQ(adaptive, fixed);
+}
+
+TEST(Kernel, AdaptiveWindowsFastForwardAndElongate) {
+  sim::Simulator sim;
+  sim.configure_partitions({0u, 1u}, 2, usec(20), 1);
+  int ran = 0;
+  {
+    sim::Simulator::Scope scope(sim, 0);
+    sim.post_at(0, [&] { ++ran; });
+    sim.post_at(msec(5), [&] { ++ran; });
+  }
+  {
+    sim::Simulator::Scope scope(sim, 1);
+    sim.post_at(msec(10), [&] { ++ran; });
+  }
+  sim.run_until(msec(20));
+  EXPECT_EQ(ran, 3);
+  EXPECT_EQ(sim.now(), msec(20));
+  const sim::KernelStats& ks = sim.kernel_stats();
+  // Three isolated events => three windows, each start a fast-forward jump
+  // after the first, each window elongated (the minimum is always unique).
+  EXPECT_EQ(ks.windows, 3u);
+  EXPECT_GE(ks.ff_jumps, 2u);
+  EXPECT_GE(ks.elongated_windows, 3u);
+  EXPECT_EQ(ks.activations, 3u);
+  EXPECT_EQ(ks.activated_max(), 1u);
+}
+
+TEST(Kernel, CrossPartitionPingPongStressAtEightThreads) {
+  // Eight chains hopping between partitions every lookahead: maximal
+  // cross-partition traffic over the spin/generation pool handoff. The
+  // assertions are exact because the schedule is deterministic; the real
+  // payload is running this under TSan (CI runs partition_test with
+  // -fsanitize=thread).
+  struct Pinger {
+    sim::Simulator& sim;
+    std::vector<std::uint64_t>& hits;
+    std::uint32_t partitions;
+    TimeNs until;
+    void fire(std::uint32_t q) {
+      ++hits[q];
+      const TimeNs next = sim.now() + sim.lookahead();
+      if (next > until) return;
+      const std::uint32_t dst = (q + 1) % partitions;
+      sim.post_to_queue(dst, next, [this, dst] { fire(dst); });
+    }
+  };
+  const std::uint32_t partitions = 8;
+  const TimeNs until = msec(5);
+  sim::Simulator sim;
+  std::vector<std::uint32_t> assignment(partitions);
+  for (std::uint32_t n = 0; n < partitions; ++n) assignment[n] = n;
+  sim.configure_partitions(std::move(assignment), partitions, usec(20), 8);
+  std::vector<std::uint64_t> hits(partitions, 0);
+  Pinger pinger{sim, hits, partitions, until};
+  for (std::uint32_t q = 0; q < partitions; ++q) {
+    sim::Simulator::Scope scope(sim, q);
+    sim.post_at(0, [&pinger, q] { pinger.fire(q); });
+  }
+  sim.run_until(until);
+  // Each chain fires at 0, L, 2L, ..., until inclusive.
+  const std::uint64_t hops_per_chain =
+      static_cast<std::uint64_t>(until / usec(20)) + 1;
+  std::uint64_t total = 0;
+  for (std::uint64_t h : hits) total += h;
+  EXPECT_EQ(total, hops_per_chain * partitions);
+  EXPECT_EQ(sim.events_executed(), hops_per_chain * partitions);
+  const sim::KernelStats& ks = sim.kernel_stats();
+  EXPECT_GT(ks.windows, 0u);
+  EXPECT_EQ(ks.activated_max(), partitions);
+}
+
 }  // namespace
 }  // namespace dmn
