@@ -79,7 +79,11 @@ EventHandle EventQueue::schedule(TimeNs at, EventFn fn) {
   }
   const std::uint32_t slot = take_slot(std::move(fn), state);
   heap_insert(Key{at, 0, next_seq_++, slot});
+#ifndef NDEBUG
+  return EventHandle(state, state->gen, alive_);
+#else
   return EventHandle(state, state->gen);
+#endif
 }
 
 bool EventQueue::run_one() {

@@ -40,14 +40,18 @@
 // Lifetime contract: an EventHandle borrows pooled state owned by its
 // queue, so handles must not be used after the owning Simulator is
 // destroyed (they were previously shared_ptr-backed and outlived it; no
-// call site relied on that).
+// call site relied on that). Debug builds enforce this: each handle carries
+// a weak reference to its queue's liveness token, and pending()/cancel()
+// assert on a dead owner. Release handles stay two raw words.
 
 #include <algorithm>
 #include <atomic>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <limits>
+#include <memory>
 #include <mutex>
 #include <new>
 #include <type_traits>
@@ -155,6 +159,7 @@ class EventHandle {
 
   /// True if the event is still pending (not run, not cancelled).
   bool pending() const {
+    assert_owner_alive();
     return state_ != nullptr && state_->gen == gen_ && !state_->cancelled;
   }
 
@@ -165,9 +170,26 @@ class EventHandle {
     std::uint64_t gen = 0;
     bool cancelled = false;
   };
+#ifndef NDEBUG
+  EventHandle(State* s, std::uint64_t gen, std::weak_ptr<const void> alive)
+      : state_(s), gen_(gen), alive_(std::move(alive)) {}
+#else
   EventHandle(State* s, std::uint64_t gen) : state_(s), gen_(gen) {}
+#endif
+  /// Debug enforcement of the lifetime contract (file-top comment): trips
+  /// when a handle is dereferenced after its owning queue — and hence its
+  /// Simulator — was destroyed, instead of reading freed pool memory.
+  void assert_owner_alive() const {
+#ifndef NDEBUG
+    assert((state_ == nullptr || !alive_.expired()) &&
+           "EventHandle used after its owning Simulator was destroyed");
+#endif
+  }
   State* state_ = nullptr;
   std::uint64_t gen_ = 0;
+#ifndef NDEBUG
+  std::weak_ptr<const void> alive_;
+#endif
 };
 
 /// "No pending event" sentinel for EventQueue::next_time().
@@ -195,11 +217,14 @@ class EventQueue {
 
   /// Inserts a cancellable event and returns its handle. The cancellation
   /// state comes from the queue's pooled free list — no allocation once the
-  /// pool has warmed up.
+  /// pool has warmed up. The handle borrows that pooled state: it must not
+  /// be used after the owning Simulator is destroyed (asserted in debug
+  /// builds).
   EventHandle schedule(TimeNs at, EventFn fn);
 
   /// Cancel a pending event; no-op if already run, reaped, or cancelled.
   static void cancel(EventHandle& h) {
+    h.assert_owner_alive();
     if (h.state_ != nullptr && h.state_->gen == h.gen_) {
       h.state_->cancelled = true;
     }
@@ -302,6 +327,11 @@ class EventQueue {
   std::vector<CrossMsg> inbox_;
   std::vector<CrossMsg> drain_scratch_;  // reused across drains, no alloc
   std::atomic<bool> inbox_flag_{false};
+#ifndef NDEBUG
+  // Liveness token for the debug-only EventHandle owner check; dies with
+  // the queue, flipping every outstanding handle's weak reference.
+  std::shared_ptr<const void> alive_ = std::make_shared<int>(0);
+#endif
 };
 
 }  // namespace dmn::sim

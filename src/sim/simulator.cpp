@@ -72,24 +72,34 @@ std::uint32_t KernelStats::activated_max() const {
 }
 
 // Worker pool shared state. The coordinator publishes a window by writing
-// the active list / bounds / cap, resetting done_count, storing the
-// generation-tagged work counter, and finally bumping `generation`; workers
-// wait for the bump with an adaptive bounded spin before falling back to
-// the condition variable. Work is claimed one queue at a time by CAS on
-// `work`, whose upper bits carry the generation: a straggler still holding
-// a stale generation can never claim (or corrupt) a later window's index —
-// its CAS simply fails and it returns to the wait loop.
+// the active list / bounds / cap, resetting done_count, storing the work
+// word, and finally bumping `generation`; workers wait for the bump with an
+// adaptive bounded spin before falling back to the condition variable.
+//
+// The work word packs (generation | active count | next index) into ONE
+// atomic so the bound check and the claim are a single atomic decision:
+//   work = (gen & kGenMask) << kGenShift | count << kCntShift | idx.
+// A claim CASes the whole word it validated, so a straggler still holding a
+// stale generation can never claim (or corrupt) a later window's index: the
+// count it compares against comes from the same load its CAS commits, never
+// from a separately-published (possibly newer) field. The generation tag is
+// truncated to 32 bits in the word — a straggler would have to sleep
+// through exactly k*2^32 windows while holding one stale load for the tag
+// to alias, which cannot happen while its claim is required for the
+// previous window's done-barrier to release the coordinator.
 struct Simulator::Pool {
   static constexpr unsigned kIdxBits = 16;
+  static constexpr unsigned kCntShift = 16;
+  static constexpr unsigned kGenShift = 32;
   static constexpr std::uint64_t kIdxMask = (1u << kIdxBits) - 1;
+  static constexpr std::uint64_t kGenMask = 0xffffffffull;
   static constexpr std::uint32_t kSpinInit = 256;
   static constexpr std::uint32_t kSpinMin = 16;
   static constexpr std::uint32_t kSpinMax = 8192;
 
   std::atomic<std::uint64_t> generation{0};
-  std::atomic<std::uint64_t> work{0};  // (generation << kIdxBits) | next index
+  std::atomic<std::uint64_t> work{0};  // gen<<32 | count<<16 | next index
   std::atomic<std::uint32_t> done_count{0};
-  std::atomic<std::uint32_t> active_count{0};
   const std::uint32_t* active = nullptr;  // into Simulator::active_
   const TimeNs* bounds = nullptr;         // into Simulator::bounds_
   std::uint64_t cap = 0;
@@ -98,6 +108,11 @@ struct Simulator::Pool {
   std::mutex m;
   std::condition_variable cv;
   std::atomic<std::uint32_t> sleepers{0};
+  // Done-barrier sleep path: the coordinator parks here when a claimed
+  // queue runs long; the worker finishing the window's last queue wakes it.
+  std::condition_variable done_cv;
+  std::atomic<bool> coord_sleeping{false};
+  std::uint32_t coord_spin_budget = kSpinInit;  // coordinator-only
   // Telemetry (workers add, coordinator folds into KernelStats).
   std::atomic<std::uint64_t> spin_wakes{0};
   std::atomic<std::uint64_t> sleep_wakes{0};
@@ -155,6 +170,10 @@ void Simulator::configure_partitions(std::vector<std::uint32_t> assignment,
     throw std::logic_error(
         "sim: configure_partitions must run before any scheduling");
   }
+  // Reconfiguration: drop any pool sized for the previous configuration so
+  // the worker count matches the new threads/partitions and its cumulative
+  // wake counters don't leak into the freshly-reset stats below.
+  shutdown_pool();
   node_queue_ = std::move(assignment);
   partitions_ = count;
   lookahead_ = lookahead;
@@ -418,16 +437,18 @@ void Simulator::run_active_pooled(std::uint64_t cap) {
   const std::uint32_t count = static_cast<std::uint32_t>(active_.size());
   const std::uint64_t gen =
       p.generation.load(std::memory_order_relaxed) + 1;
-  // Publish order matters: window data, then done_count, then the
-  // generation-tagged work counter (release), then the generation bump the
-  // workers wait on. A worker that observes the new generation therefore
-  // observes everything else.
+  // Publish order matters: window data, then done_count, then the packed
+  // work word (release), then the generation bump the workers wait on. A
+  // worker that observes the new generation therefore observes everything
+  // else. Until the work word is stored, stragglers see the previous
+  // window's fully-drained word (idx == count) and claim nothing.
   p.active = active_.data();
   p.bounds = bounds_.data();
   p.cap = cap;
-  p.active_count.store(count, std::memory_order_relaxed);
   p.done_count.store(0, std::memory_order_relaxed);
-  p.work.store(gen << Pool::kIdxBits, std::memory_order_release);
+  p.work.store(((gen & Pool::kGenMask) << Pool::kGenShift) |
+                   (static_cast<std::uint64_t>(count) << Pool::kCntShift),
+               std::memory_order_release);
   p.generation.store(gen, std::memory_order_seq_cst);
   if (p.sleepers.load(std::memory_order_seq_cst) != 0) {
     // The empty critical section pins sleepers to one side of the predicate
@@ -440,14 +461,39 @@ void Simulator::run_active_pooled(std::uint64_t cap) {
   const auto exec_begin = Clock::now();
   pull_windows(p, gen);
   const auto exec_end = Clock::now();
+  // Done-barrier: adaptive spin-then-wait, mirroring the workers. A long
+  // in-flight queue (or an oversubscribed box) must not pin the coordinator
+  // to a core it could be lending to the very worker it waits on. The
+  // seq_cst handshake on coord_sleeping vs done_count (worker side in
+  // pull_windows) closes the lost-wakeup window the same way the sleepers
+  // counter does for generation publishes.
   std::uint32_t spins = 0;
+  bool slept = false;
   while (p.done_count.load(std::memory_order_acquire) < count) {
-    cpu_relax();
-    if (++spins >= 256) {
-      std::this_thread::yield();
-      spins = 0;
+    if (spins < p.coord_spin_budget) {
+      ++spins;
+      cpu_relax();
+      continue;
     }
+    p.coord_sleeping.store(true, std::memory_order_seq_cst);
+    {
+      std::unique_lock<std::mutex> lock(p.m);
+      // seq_cst predicate load: paired with the seq_cst fetch_add +
+      // coord_sleeping load on the worker side, the single total order
+      // guarantees that whenever the last finisher saw coord_sleeping ==
+      // false (and so skipped the notify), this pre-wait check sees its
+      // increment — an acquire load could legally miss it and sleep with
+      // no wakeup pending.
+      p.done_cv.wait(lock, [&p, count] {
+        return p.done_count.load(std::memory_order_seq_cst) >= count;
+      });
+    }
+    p.coord_sleeping.store(false, std::memory_order_seq_cst);
+    slept = true;
   }
+  p.coord_spin_budget =
+      slept ? std::max(p.coord_spin_budget / 2, Pool::kSpinMin)
+            : std::min(p.coord_spin_budget * 2, Pool::kSpinMax);
   const auto window_close = Clock::now();
   stats_.barrier_seconds +=
       std::chrono::duration<double>(window_close - window_begin).count() -
@@ -457,15 +503,30 @@ void Simulator::run_active_pooled(std::uint64_t cap) {
 void Simulator::pull_windows(Pool& p, std::uint64_t gen) {
   std::uint64_t v = p.work.load(std::memory_order_acquire);
   for (;;) {
-    if ((v >> Pool::kIdxBits) != gen) return;  // not this window any more
-    const std::uint32_t i =
-        static_cast<std::uint32_t>(v & Pool::kIdxMask);
-    if (i >= p.active_count.load(std::memory_order_relaxed)) return;
+    if ((v >> Pool::kGenShift) != (gen & Pool::kGenMask)) {
+      return;  // not this window any more
+    }
+    // Generation, bound, and index all come from the one word the CAS
+    // commits — a stale load can never pass this window's bound check
+    // against a newer window's count.
+    const std::uint32_t count =
+        static_cast<std::uint32_t>((v >> Pool::kCntShift) & Pool::kIdxMask);
+    const std::uint32_t i = static_cast<std::uint32_t>(v & Pool::kIdxMask);
+    if (i >= count) return;
     if (p.work.compare_exchange_weak(v, v + 1, std::memory_order_acq_rel,
                                      std::memory_order_acquire)) {
       const std::uint32_t q = p.active[i];
       run_queue_window(q, p.bounds[q], p.cap);
-      p.done_count.fetch_add(1, std::memory_order_release);
+      const std::uint32_t done =
+          p.done_count.fetch_add(1, std::memory_order_seq_cst) + 1;
+      if (done == count &&
+          p.coord_sleeping.load(std::memory_order_seq_cst)) {
+        // Pin the coordinator to one side of its predicate re-check, then
+        // wake it; only the window's last finisher can flip the predicate,
+        // so earlier increments skip the lock entirely.
+        { const std::lock_guard<std::mutex> lock(p.m); }
+        p.done_cv.notify_one();
+      }
       v = p.work.load(std::memory_order_acquire);
     }
     // CAS failure already reloaded v.

@@ -46,12 +46,15 @@
 // peeked values may differ between schedules within the same <= L bound.
 //
 // Per window only queues whose next event lies inside their bound are
-// activated; active queues enter a single atomic work index (largest
-// previous-window execution count first, LPT-style) that the coordinator
-// and pool workers pull from until drained. The barrier is a generation
-// counter with adaptive bounded spin-then-wait, so idle handoffs cost
-// nanoseconds rather than condition-variable syscalls; on a loaded box the
-// spin budget collapses and workers sleep immediately.
+// activated; active queues enter a single atomic work word (largest
+// previous-window execution count first, LPT-style) packing generation,
+// active count, and next index, which the coordinator and pool workers
+// claim from by CAS until drained — bound check and claim are one atomic
+// decision, so a straggler holding a stale word can never claim into a
+// newer window. Both handoffs are adaptive bounded spin-then-wait: workers
+// wait on the generation counter, the coordinator on the done count, so
+// idle handoffs cost nanoseconds rather than condition-variable syscalls
+// while a loaded box collapses the spin budgets and sleeps immediately.
 //
 // Cross-partition sends go through post_to_queue(), which appends to the
 // destination's inbox stamped (time, source queue, source sequence); inboxes
@@ -109,7 +112,9 @@ class Simulator {
   /// topology node to its partition. `lookahead` must be positive — it is
   /// the minimum latency of any cross-partition delivery, and becomes the
   /// synchronization window width. `threads` caps the worker pool (clamped
-  /// to the partition count). Must be called before anything is scheduled.
+  /// to the partition count). Must be called before anything is scheduled;
+  /// calling it again reconfigures from scratch — the worker pool and its
+  /// telemetry are torn down so the next run matches the new settings.
   void configure_partitions(std::vector<std::uint32_t> assignment,
                             std::uint32_t count, TimeNs lookahead,
                             unsigned threads);
@@ -155,7 +160,7 @@ class Simulator {
   /// returned handle can cancel the event; if the handle is discarded,
   /// prefer post_at(), which skips the handle state entirely. Handles
   /// borrow pooled state owned by the kernel and must not be used after
-  /// the Simulator is destroyed.
+  /// the Simulator is destroyed (debug builds assert on such use).
   EventHandle schedule_at(TimeNs at, EventFn fn);
 
   /// Schedule `fn` to run `delay` after now().
@@ -238,8 +243,8 @@ class Simulator {
   /// Publishes the active set to the pool, pulls work alongside the
   /// workers, and waits for the done-barrier (accounting barrier time).
   void run_active_pooled(std::uint64_t cap);
-  /// Claims active queues off the generation-tagged work counter until the
-  /// window drains; a stale generation claims nothing.
+  /// Claims active queues off the packed (gen | count | idx) work word
+  /// until the window drains; a stale word claims nothing.
   void pull_windows(Pool& p, std::uint64_t gen);
   void ensure_pool();
   void worker_loop();

@@ -416,6 +416,33 @@ TEST(Kernel, AdaptiveWindowsFastForwardAndElongate) {
   EXPECT_EQ(ks.activated_max(), 1u);
 }
 
+TEST(Kernel, ReconfigureBeforeSchedulingTakesEffect) {
+  // configure_partitions() may legally run again before any scheduling;
+  // the second call must rebuild everything — partition count, lookahead,
+  // node map, worker pool, telemetry — rather than mixing old state (e.g.
+  // a pool sized for the previous thread count, or wake counters surviving
+  // the stats reset) into the new configuration.
+  sim::Simulator sim;
+  sim.configure_partitions({0u, 1u}, 2, usec(20), 8);
+  sim.configure_partitions({0u, 1u, 2u, 0u}, 3, usec(40), 2);
+  EXPECT_EQ(sim.partition_count(), 3u);
+  EXPECT_EQ(sim.lookahead(), usec(40));
+  EXPECT_EQ(sim.queue_of_node(3), 0u);
+  int ran = 0;
+  for (std::uint32_t q = 0; q < 3; ++q) {
+    sim::Simulator::Scope scope(sim, q);
+    sim.post_at(usec(q), [&ran] { ++ran; });
+  }
+  sim.run_until(msec(1));
+  EXPECT_EQ(ran, 3);
+  const sim::KernelStats& ks = sim.kernel_stats();
+  // All three events fit a single 40 us window starting at 0; the stats
+  // must reflect only the post-reconfigure run.
+  EXPECT_EQ(ks.windows, 1u);
+  EXPECT_EQ(ks.activations, 3u);
+  EXPECT_EQ(ks.activation_hist.size(), 4u);
+}
+
 TEST(Kernel, CrossPartitionPingPongStressAtEightThreads) {
   // Eight chains hopping between partitions every lookahead: maximal
   // cross-partition traffic over the spin/generation pool handoff. The
